@@ -1,0 +1,242 @@
+// Benchmarks regenerating every experiment of the reproduction (one per
+// table/series in DESIGN.md), plus ablation benchmarks for the design
+// choices the library makes. Run with:
+//
+//	go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+	"repro/internal/muddy"
+)
+
+// benchExperiment runs one experiment driver repeatedly, failing the bench
+// if the reproduction deviates from the paper.
+func benchExperiment(b *testing.B, run func() (*core.Report, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Pass {
+			b.Fatalf("experiment failed:\n%s", rep)
+		}
+	}
+}
+
+func BenchmarkE1MuddyChildren(b *testing.B) {
+	benchExperiment(b, func() (*core.Report, error) { return core.E1MuddyChildren(6) })
+}
+
+func BenchmarkE2KnowledgeDepth(b *testing.B) {
+	benchExperiment(b, func() (*core.Report, error) { return core.E2KnowledgeDepth(5) })
+}
+
+func BenchmarkE3Hierarchy(b *testing.B) {
+	benchExperiment(b, core.E3Hierarchy)
+}
+
+func BenchmarkE4CoordinatedAttack(b *testing.B) {
+	benchExperiment(b, core.E4CoordinatedAttack)
+}
+
+func BenchmarkE5Theorem5(b *testing.B) {
+	benchExperiment(b, core.E5Theorem5)
+}
+
+func BenchmarkE6Theorem7(b *testing.B) {
+	benchExperiment(b, core.E6Theorem7)
+}
+
+func BenchmarkE7R2D2(b *testing.B) {
+	benchExperiment(b, core.E7R2D2)
+}
+
+func BenchmarkE8Imprecision(b *testing.B) {
+	benchExperiment(b, core.E8Imprecision)
+}
+
+func BenchmarkE9EpsilonEventual(b *testing.B) {
+	benchExperiment(b, core.E9EpsilonEventual)
+}
+
+func BenchmarkE10Timestamped(b *testing.B) {
+	benchExperiment(b, core.E10Timestamped)
+}
+
+func BenchmarkE11S5(b *testing.B) {
+	benchExperiment(b, core.E11S5)
+}
+
+func BenchmarkE12InternalConsistency(b *testing.B) {
+	benchExperiment(b, core.E12InternalConsistency)
+}
+
+func BenchmarkE13Fixpoint(b *testing.B) {
+	benchExperiment(b, core.E13Fixpoint)
+}
+
+func BenchmarkE14Agreement(b *testing.B) {
+	benchExperiment(b, core.E14Agreement)
+}
+
+func BenchmarkE15MessageChains(b *testing.B) {
+	benchExperiment(b, core.E15MessageChains)
+}
+
+func BenchmarkE16FactDiscovery(b *testing.B) {
+	benchExperiment(b, core.E16FactDiscovery)
+}
+
+func BenchmarkE17KnowledgeBasedProgram(b *testing.B) {
+	benchExperiment(b, core.E17KnowledgeBasedProgram)
+}
+
+// Ablation: evaluation on a point model before and after bisimulation
+// minimization (silent run tails collapse).
+func BenchmarkAblationMinimizedEvaluation(b *testing.B) {
+	sys := core.R2D2Chain(6, 9)
+	pm := sys.Model(repro.CompleteHistoryView, repro.Interpretation{
+		"sent": repro.StablyTrue(repro.SentBy("m")),
+	})
+	f := repro.MustParse("C sent")
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pm.Eval(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mini, _ := pm.Model.Minimize()
+	b.Run("minimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mini.Eval(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// chainModel is the strict-hierarchy model used by the ablations.
+func chainModel(n int) *kripke.Model {
+	m := kripke.NewModel(n, 2)
+	for w := 0; w < n-1; w++ {
+		m.SetTrue(w, "p")
+	}
+	for w := 0; w+1 < n; w++ {
+		m.Indistinguishable(w%2, w, w+1)
+	}
+	return m
+}
+
+// Ablation: common knowledge via reachability components (the default)
+// versus greatest-fixed-point iteration. On a chain of n worlds the gfp
+// needs ~n iterations, so components win asymptotically.
+func BenchmarkAblationCommonByComponents(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := chainModel(n)
+			f := logic.C(nil, logic.P("p"))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Eval(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationCommonByIteration(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := chainModel(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.CommonKnowledgeByIteration(nil, logic.P("p")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: muddy children model size — the 2^n-world model construction
+// and a full simulation, as n grows.
+func BenchmarkAblationMuddyScaling(b *testing.B) {
+	for _, n := range []int{6, 9, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			muddySet := []int{0, 1, 2}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := muddy.Simulate(n, muddySet, muddy.PublicAnnouncement, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: formula evaluation cost by modal depth on a fixed model.
+func BenchmarkAblationModalDepth(b *testing.B) {
+	m := chainModel(512)
+	for _, k := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("E^%d", k), func(b *testing.B) {
+			f := logic.EK(nil, k, logic.P("p"))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Eval(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: point-model construction cost as the system grows (runs x
+// horizon), dominated by view hashing.
+func BenchmarkAblationPointModelBuild(b *testing.B) {
+	for _, size := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("runs=%d", size), func(b *testing.B) {
+			rs := make([]*repro.Run, size)
+			for i := range rs {
+				r := repro.NewRun(fmt.Sprintf("r%d", i), 3, 12)
+				r.Send(0, 1, repro.Time(i%4), repro.Time(i%4+1), "m")
+				r.Send(1, 2, repro.Time(i%4+2), repro.Time(i%4+3), "n")
+				rs[i] = r
+			}
+			sys := repro.MustSystem(rs...)
+			interp := repro.Interpretation{"sent": repro.StablyTrue(repro.SentBy("m"))}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sys.Model(repro.CompleteHistoryView, interp)
+			}
+		})
+	}
+}
+
+// Ablation: the full experiment suite end to end.
+func BenchmarkAllExperiments(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reps, err := core.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reps {
+			if !r.Pass {
+				b.Fatalf("experiment %s failed", r.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunDefaultish(t *testing.T) {
+	if err := run([]string{"-budget", "3", "-horizon", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyBudget(t *testing.T) {
+	if err := run([]string{"-budget", "1", "-horizon", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Command hmrepro runs the reproduction experiments (E1..E13 of DESIGN.md)
+// and prints their reports. With -list it enumerates the experiments; with
+// -run ID it executes a single one.
+//
+// Usage:
+//
+//	hmrepro            # run everything
+//	hmrepro -list
+//	hmrepro -run E7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hmrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hmrepro", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiments and exit")
+	only := fs.String("run", "", "run only the experiment with this id (e.g. E7)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	exps := core.All()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	failures := 0
+	for _, e := range exps {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		rep, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(rep)
+		fmt.Println()
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if *only != "" && failures == 0 {
+		found := false
+		for _, e := range exps {
+			if e.ID == *only {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("no experiment %q (try -list)", *only)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E3 is one of the fastest drivers.
+	if err := run([]string{"-run", "E3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E999"}); err == nil {
+		t.Fatal("unknown experiment id should fail")
+	}
+}

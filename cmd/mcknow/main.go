@@ -1,0 +1,153 @@
+// Command mcknow is an epistemic model checker: it loads a finite Kripke
+// model from a JSON file and evaluates formulas of the knowledge language
+// over it.
+//
+// Usage:
+//
+//	mcknow -model m.json "C{0,1} (p & K0 p)" "E p -> D p"
+//
+// Model file format:
+//
+//	{
+//	  "agents": 2,
+//	  "worlds": ["w0", "w1", "w2"],
+//	  "facts": {"p": ["w0", "w1"]},
+//	  "indistinguishable": {"0": [["w0", "w1"]], "1": [["w1", "w2"]]}
+//	}
+//
+// Each entry of "indistinguishable" lists, per agent, groups of worlds the
+// agent cannot tell apart (closed under reflexivity/symmetry/transitivity
+// automatically).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+type modelFile struct {
+	Agents            int                   `json:"agents"`
+	Worlds            []string              `json:"worlds"`
+	Facts             map[string][]string   `json:"facts"`
+	Indistinguishable map[string][][]string `json:"indistinguishable"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcknow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcknow", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to the model JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no formulas given")
+	}
+
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	for _, src := range fs.Args() {
+		f, err := logic.Parse(src)
+		if err != nil {
+			return fmt.Errorf("parse %q: %w", src, err)
+		}
+		set, err := m.Eval(f)
+		if err != nil {
+			return fmt.Errorf("eval %q: %w", src, err)
+		}
+		fmt.Printf("%s\n", f)
+		switch {
+		case set.IsFull():
+			fmt.Println("  valid (holds at every world)")
+		case set.IsEmpty():
+			fmt.Println("  unsatisfiable in this model (holds nowhere)")
+		default:
+			fmt.Print("  holds at:")
+			set.ForEach(func(w int) bool {
+				fmt.Printf(" %s", m.Name(w))
+				return true
+			})
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func loadModel(path string) (*kripke.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mf modelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if mf.Agents < 1 {
+		return nil, fmt.Errorf("%s: agents must be >= 1", path)
+	}
+	if len(mf.Worlds) == 0 {
+		return nil, fmt.Errorf("%s: no worlds", path)
+	}
+	m := kripke.NewModel(len(mf.Worlds), mf.Agents)
+	idx := make(map[string]int, len(mf.Worlds))
+	for i, name := range mf.Worlds {
+		if _, dup := idx[name]; dup {
+			return nil, fmt.Errorf("%s: duplicate world %q", path, name)
+		}
+		idx[name] = i
+		m.SetName(i, name)
+	}
+	lookup := func(name string) (int, error) {
+		w, ok := idx[name]
+		if !ok {
+			return 0, fmt.Errorf("%s: unknown world %q", path, name)
+		}
+		return w, nil
+	}
+	for fact, worlds := range mf.Facts {
+		for _, name := range worlds {
+			w, err := lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			m.SetTrue(w, fact)
+		}
+	}
+	for agentStr, groups := range mf.Indistinguishable {
+		a, err := strconv.Atoi(agentStr)
+		if err != nil || a < 0 || a >= mf.Agents {
+			return nil, fmt.Errorf("%s: bad agent %q", path, agentStr)
+		}
+		for _, group := range groups {
+			for i := 1; i < len(group); i++ {
+				w0, err := lookup(group[0])
+				if err != nil {
+					return nil, err
+				}
+				wi, err := lookup(group[i])
+				if err != nil {
+					return nil, err
+				}
+				m.Indistinguishable(a, w0, wi)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleModel = `{
+  "agents": 2,
+  "worlds": ["w0", "w1", "w2"],
+  "facts": {"p": ["w0", "w1"]},
+  "indistinguishable": {"0": [["w0", "w1"]], "1": [["w1", "w2"]]}
+}`
+
+func writeModel(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEvaluatesFormulas(t *testing.T) {
+	path := writeModel(t, sampleModel)
+	if err := run([]string{"-model", path, "K0 p", "C p", "p | ~p"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeModel(t, sampleModel)
+	cases := [][]string{
+		{},                              // no model
+		{"-model", path},                // no formulas
+		{"-model", "/nonexistent", "p"}, // missing file
+		{"-model", path, "K0 ("},        // parse error
+		{"-model", path, "K9 p"},        // agent out of range
+		{"-model", path, "<> p"},        // temporal on a static model
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestLoadModelValidation(t *testing.T) {
+	bad := []string{
+		`{`, // syntax
+		`{"agents": 0, "worlds": ["a"]}`,
+		`{"agents": 1, "worlds": []}`,
+		`{"agents": 1, "worlds": ["a", "a"]}`, // duplicate world
+		`{"agents": 1, "worlds": ["a"], "facts": {"p": ["zzz"]}}`,                      // unknown world
+		`{"agents": 1, "worlds": ["a", "b"], "indistinguishable": {"7": [["a","b"]]}}`, // bad agent
+		`{"agents": 1, "worlds": ["a", "b"], "indistinguishable": {"0": [["a","z"]]}}`, // unknown world
+	}
+	for _, content := range bad {
+		path := writeModel(t, content)
+		if _, err := loadModel(path); err == nil {
+			t.Errorf("loadModel accepted %s", content)
+		}
+	}
+	good := writeModel(t, sampleModel)
+	m, err := loadModel(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumWorlds() != 3 || m.NumAgents() != 2 {
+		t.Errorf("model = %d worlds, %d agents", m.NumWorlds(), m.NumAgents())
+	}
+	if !m.SameClass(0, 0, 1) || m.SameClass(0, 0, 2) {
+		t.Error("indistinguishability not loaded correctly")
+	}
+}

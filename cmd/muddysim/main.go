@@ -1,0 +1,93 @@
+// Command muddysim simulates the muddy children puzzle of Section 2.
+//
+// Usage:
+//
+//	muddysim -n 6 -muddy 0,2,4 -mode public
+//
+// Modes: public (the father announces m), none (he says nothing), private
+// (he tells each child separately and secretly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/muddy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "muddysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("muddysim", flag.ContinueOnError)
+	n := fs.Int("n", 5, "number of children")
+	muddyArg := fs.String("muddy", "0,1", "comma-separated indices of muddy children")
+	mode := fs.String("mode", "public", "announcement mode: public, none, private")
+	rounds := fs.Int("rounds", 0, "round budget (default n+2)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var muddySet []int
+	if *muddyArg != "" {
+		for _, part := range strings.Split(*muddyArg, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad child index %q", part)
+			}
+			muddySet = append(muddySet, c)
+		}
+	}
+	var m muddy.AnnouncementMode
+	switch *mode {
+	case "public":
+		m = muddy.PublicAnnouncement
+	case "none":
+		m = muddy.NoAnnouncement
+	case "private":
+		m = muddy.PrivateAnnouncement
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	budget := *rounds
+	if budget == 0 {
+		budget = *n + 2
+	}
+
+	fmt.Printf("%d children; muddy: %v; mode: %s\n\n", *n, muddySet, *mode)
+	res, err := muddy.Simulate(*n, muddySet, m, budget)
+	if err != nil {
+		return err
+	}
+	for i, r := range res.Rounds {
+		var yes []int
+		for c, y := range r.Yes {
+			if y {
+				yes = append(yes, c)
+			}
+		}
+		if len(yes) == 0 {
+			fmt.Printf("round %d: all children answer \"no\"\n", i+1)
+		} else {
+			fmt.Printf("round %d: children %v answer \"yes\"\n", i+1, yes)
+		}
+	}
+	fmt.Println()
+	switch {
+	case res.FirstYesRound == 0:
+		fmt.Printf("no child ever proves its state (k=%d, %d rounds)\n", res.K, budget)
+	case res.YesAreMuddy:
+		fmt.Printf("the %d muddy children prove their state in round %d, as the theory predicts\n",
+			res.K, res.FirstYesRound)
+	default:
+		fmt.Printf("unexpected: yes-sayers in round %d are not exactly the muddy children\n", res.FirstYesRound)
+	}
+	return nil
+}

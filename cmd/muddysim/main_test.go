@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "4", "-muddy", "0,2", "-mode", "public"},
+		{"-n", "4", "-muddy", "1", "-mode", "none", "-rounds", "3"},
+		{"-n", "4", "-muddy", "0,1,2", "-mode", "private"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "bogus"},
+		{"-muddy", "x"},
+		{"-n", "3", "-muddy", "9"},
+		{"-n", "0"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

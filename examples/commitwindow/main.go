@@ -1,0 +1,49 @@
+// Commit window (Sections 8 and 13): a coordinator commits a transaction
+// and informs a participant; during the delivery window the sites reflect
+// inconsistent histories. Acting "as if" the commit were common knowledge
+// violates the knowledge axiom — but it is internally knowledge consistent,
+// which is why real databases get away with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys, interp, err := repro.CommitSystem(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The coordinator sends \"commit\" at t=1; delivery takes 0, 1 or 2 ticks.")
+	fmt.Println("Eager interpretation: each site believes the transaction is committed —")
+	fmt.Println("and commonly known to be — as soon as it has sent/received the message.")
+	fmt.Println()
+
+	pm := sys.Model(repro.CompleteHistoryView, interp)
+	violations, err := repro.CheckKnowledgeConsistent(pm, repro.EagerCommit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Knowledge axiom violations (the window of vulnerability): %d\n", len(violations))
+	for i, v := range violations {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(violations)-3)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+	fmt.Println()
+
+	names, err := repro.FindConsistentSubsystem(sys, repro.CompleteHistoryView, interp, repro.EagerCommit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Internally knowledge consistent with respect to the subsystem %v:\n", names)
+	fmt.Println("every local history that can occur also occurs in the instantaneous-")
+	fmt.Println("delivery world, where the eager beliefs are true. No site will ever")
+	fmt.Println("observe evidence against acting as if the commit were common knowledge")
+	fmt.Println("(Section 13's resolution of the Section 9 paradox).")
+}

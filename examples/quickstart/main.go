@@ -1,0 +1,57 @@
+// Quickstart: build a tiny two-processor system, ascribe knowledge with
+// the complete-history interpretation, and walk the knowledge hierarchy of
+// Section 3 — individual knowledge is gained message by message, while
+// common knowledge stays out of reach because the channel may lose
+// messages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Two possible executions: the message from p0 to p1 is delivered at
+	// time 2, or lost. Identifying the system with its set of runs is the
+	// core move of Section 5.
+	ok := repro.NewRun("ok", 2, 5)
+	ok.Send(0, 1, 1, 2, "m")
+	lost := repro.NewRun("lost", 2, 5)
+	lost.SendLost(0, 1, 1, "m")
+	sys := repro.MustSystem(ok, lost)
+
+	// π: the ground fact "sent" holds once the message has been sent.
+	pm := sys.Model(repro.CompleteHistoryView, repro.Interpretation{
+		"sent": repro.StablyTrue(repro.SentBy("m")),
+		"del":  repro.StablyTrue(repro.ReceivedBy("m")),
+	})
+
+	queries := []struct {
+		formula string
+		run     string
+		t       repro.Time
+		note    string
+	}{
+		{"K0 sent", "ok", 2, "the sender knows it sent"},
+		{"K1 sent", "ok", 1, "the receiver does not know yet"},
+		{"K1 sent", "ok", 3, "after delivery, it does"},
+		{"K0 K1 sent", "ok", 5, "but the sender can never know that (the message may be lost)"},
+		{"E sent", "ok", 3, "everyone knows sent"},
+		{"D sent", "ok", 2, "the joint view settles it as soon as anyone acts"},
+		{"C sent", "ok", 5, "common knowledge is unattainable (Theorem 5)"},
+		{"Cv del", "ok", 3, "and so is even eventual common knowledge of delivery"},
+	}
+	for _, q := range queries {
+		f, err := repro.Parse(q.formula)
+		if err != nil {
+			log.Fatal(err)
+		}
+		holds, err := pm.HoldsAt(f, q.run, q.t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s at (%s,%d) = %-5v  %s\n", q.formula, q.run, q.t, holds, q.note)
+	}
+}

@@ -1,0 +1,108 @@
+// R2-D2 (Section 8): with message delivery taking either 0 or ε, every
+// level of "R2 knows that D2 knows" costs ε time units, and common
+// knowledge of sent(m) is never attained — while ε-common knowledge holds
+// as soon as the message is sent, and a timestamped message over a global
+// clock attains full common knowledge at t_S + ε.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// chain builds the paper's system {r_i, r'_i}: for each send time i, run
+// "now<i>" delivers immediately and run "late<i>" one tick later (ε = 1).
+// R2 = processor 0, D2 = processor 1; both have (identity) clocks and the
+// payload carries no timestamp.
+func chain(m int, horizon repro.Time) *repro.System {
+	rs := make([]*repro.Run, 0, 2*m)
+	for i := 0; i < m; i++ {
+		now := repro.NewRun(fmt.Sprintf("now%d", i), 2, horizon)
+		now.SetIdentityClock(0)
+		now.SetIdentityClock(1)
+		now.Send(0, 1, repro.Time(i), repro.Time(i), "m")
+		late := repro.NewRun(fmt.Sprintf("late%d", i), 2, horizon)
+		late.SetIdentityClock(0)
+		late.SetIdentityClock(1)
+		late.Send(0, 1, repro.Time(i), repro.Time(i+1), "m")
+		rs = append(rs, now, late)
+	}
+	return repro.MustSystem(rs...)
+}
+
+func main() {
+	sys := chain(6, 9)
+	pm := sys.Model(repro.CompleteHistoryView, repro.Interpretation{
+		"sent": repro.StablyTrue(repro.SentBy("m")),
+	})
+
+	fmt.Println("R2 sends m to D2; delivery takes 0 or ε (= 1 tick).")
+	fmt.Println("In the run where m is sent at 0 and arrives at ε:")
+	fmt.Println()
+	fmt.Printf("%-28s %s\n", "level", "first holds at")
+	phi := repro.P("sent")
+	label := "sent"
+	for k := 1; k <= 4; k++ {
+		phi = repro.K(0, repro.K(1, phi))
+		label = "K_R K_D " + label
+		set, err := pm.Eval(phi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		first := -1
+		for t := repro.Time(0); t <= sys.Horizon; t++ {
+			w, _ := pm.WorldOf("late0", t)
+			if set.Contains(w) {
+				first = int(t)
+				break
+			}
+		}
+		fmt.Printf("%-28s t = %d\n", label, first)
+	}
+	fmt.Println()
+	fmt.Println("One ε per level — so C sent(m), which implies every level, never holds:")
+	ck, _ := pm.Eval(repro.MustParse("C sent"))
+	fmt.Printf("  C sent holds at %d points (while send times remain uncertain)\n", countEarly(pm, ck, 5))
+
+	ce, _ := pm.Eval(repro.MustParse("Ce[1] sent"))
+	w, _ := pm.WorldOf("now0", 0)
+	fmt.Printf("  Ce[1] sent at the send point: %v (ε-common knowledge is attained)\n\n", ce.Contains(w))
+
+	// The fix: a global clock plus a timestamped message.
+	fmt.Println("With a global clock and the message \"sent at time 2; m\":")
+	now := repro.NewRun("now", 2, 6)
+	now.Send(0, 1, 2, 2, "m@2")
+	late := repro.NewRun("late", 2, 6)
+	late.Send(0, 1, 2, 3, "m@2")
+	never := repro.NewRun("never", 2, 6)
+	for _, r := range []*repro.Run{now, late, never} {
+		r.SetIdentityClock(0)
+		r.SetIdentityClock(1)
+	}
+	tsys := repro.MustSystem(now, late, never)
+	tpm := tsys.Model(repro.CompleteHistoryView, repro.Interpretation{
+		"sent": repro.StablyTrue(repro.SentBy("m@2")),
+	})
+	tc, _ := tpm.Eval(repro.MustParse("C sent"))
+	for _, t := range []repro.Time{3, 4} {
+		w, _ := tpm.WorldOf("late", t)
+		fmt.Printf("  C sent at t=%d: %v\n", t, tc.Contains(w))
+	}
+	fmt.Println("  — common knowledge arrives exactly when the delivery window closes.")
+}
+
+// countEarly counts points of the set at times below cutoff (away from the
+// finite-horizon boundary).
+func countEarly(pm *repro.PointModel, set *repro.WorldSet, cutoff repro.Time) int {
+	n := 0
+	for ri := range pm.Sys.Runs {
+		for t := repro.Time(0); t < cutoff; t++ {
+			if set.Contains(pm.World(ri, t)) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+// Package agreement implements the Section 12 discussion of phase-based
+// agreement protocols: processors exchange their initial values in a
+// synchronous phase and decide a joint function of what they received.
+//
+//   - In the lockstep variant (identical clocks, fixed delivery) the phase
+//     ends simultaneously everywhere, and the decision value is common
+//     knowledge at the end of the phase — the idealized model in which
+//     protocols are usually analyzed.
+//   - In the jittered variant message delivery within the phase varies by
+//     up to ε, so phase ends are not simultaneous: plain common knowledge
+//     of the decision is not attained (Theorem 8 morally applies), but
+//     timestamped common knowledge with timestamp "end of phase" is — and,
+//     as the paper notes for early-stopping protocols, once the first
+//     processor decides, the decision value is ε-common knowledge.
+//
+// Decisions are modeled as ground facts derived from the runs; the
+// knowledge claims are checked by the temporal machinery of the runs
+// package.
+package agreement
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// Variant selects the phase timing model.
+type Variant int
+
+// Variants.
+const (
+	// Lockstep: every exchange message takes exactly MinDelay ticks.
+	Lockstep Variant = iota + 1
+	// Jittered: each message independently takes MinDelay..MaxDelay ticks.
+	Jittered
+)
+
+// Config parameterizes the agreement system.
+type Config struct {
+	// N is the number of processors (2..4 supported; the run count is
+	// 2^N x delivery choices).
+	N int
+	// Variant selects Lockstep or Jittered phases.
+	Variant Variant
+	// MinDelay and MaxDelay bound message delivery inside the phase.
+	MinDelay, MaxDelay runs.Time
+	// Horizon of the observed runs.
+	Horizon runs.Time
+}
+
+// PhaseEnd returns the latest time by which every exchange message has
+// been delivered and observed: the nominal "end of phase" timestamp.
+func (c Config) PhaseEnd() runs.Time {
+	// Messages are sent at time 0 and observed one tick after delivery.
+	return c.MaxDelay + 1
+}
+
+// DecideProp is the ground fact "every processor has decided".
+const DecideProp = "alldecided"
+
+// DecisionProp returns the ground fact "the decided value is v" (v = 0, 1).
+func DecisionProp(v int) string { return fmt.Sprintf("decision%d", v) }
+
+// decide computes the decision from the initial bits: the AND of all
+// inputs (agreement on "everyone voted yes").
+func decide(bits []int) int {
+	for _, b := range bits {
+		if b == 0 {
+			return 0
+		}
+	}
+	return 1
+}
+
+// Build enumerates the system: every combination of initial bits and (for
+// Jittered) per-message delivery delays. Every processor broadcasts its bit
+// at time 0 and decides once it has heard from everyone; Meta["decide<p>"]
+// records processor p's decision time in each run.
+func Build(cfg Config) (*runs.System, runs.Interpretation, error) {
+	if cfg.N < 2 || cfg.N > 4 {
+		return nil, nil, fmt.Errorf("agreement: N must be in [2, 4], got %d", cfg.N)
+	}
+	if cfg.MinDelay < 1 || cfg.MinDelay > cfg.MaxDelay {
+		return nil, nil, fmt.Errorf("agreement: need 1 <= MinDelay <= MaxDelay")
+	}
+	if cfg.Variant == Lockstep && cfg.MinDelay != cfg.MaxDelay {
+		return nil, nil, fmt.Errorf("agreement: lockstep requires MinDelay == MaxDelay")
+	}
+	if cfg.PhaseEnd() >= cfg.Horizon {
+		return nil, nil, fmt.Errorf("agreement: horizon %d too small for phase end %d", cfg.Horizon, cfg.PhaseEnd())
+	}
+
+	n := cfg.N
+	nMsgs := n * (n - 1) // each processor sends to every other
+	delayChoices := int(cfg.MaxDelay - cfg.MinDelay + 1)
+
+	var rs []*runs.Run
+	for bitsMask := 0; bitsMask < 1<<n; bitsMask++ {
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = (bitsMask >> i) & 1
+		}
+		// Enumerate delivery delay vectors.
+		total := 1
+		for i := 0; i < nMsgs; i++ {
+			total *= delayChoices
+		}
+		for choice := 0; choice < total; choice++ {
+			r := runs.NewRun(fmt.Sprintf("b%d_c%d", bitsMask, choice), n, cfg.Horizon)
+			for p := 0; p < n; p++ {
+				r.Init[p] = fmt.Sprintf("%d", bits[p])
+				r.SetIdentityClock(p)
+			}
+			// Assign delays.
+			c := choice
+			msg := 0
+			lastRecv := make([]runs.Time, n)
+			for from := 0; from < n; from++ {
+				for to := 0; to < n; to++ {
+					if from == to {
+						continue
+					}
+					d := cfg.MinDelay + runs.Time(c%delayChoices)
+					c /= delayChoices
+					r.Send(from, to, 0, d, fmt.Sprintf("v%d=%d", from, bits[from]))
+					if d > lastRecv[to] {
+						lastRecv[to] = d
+					}
+					msg++
+				}
+			}
+			// Processor p decides one tick after its last receipt (when
+			// the receipt enters its history).
+			for p := 0; p < n; p++ {
+				r.Meta[decideKey(p)] = int(lastRecv[p]) + 1
+			}
+			r.Meta["decision"] = decide(bits)
+			rs = append(rs, r)
+		}
+	}
+	sys, err := runs.NewSystem(rs...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	interp := runs.Interpretation{
+		DecideProp: func(r *runs.Run, t runs.Time) bool {
+			for p := 0; p < r.N; p++ {
+				if int(t) < r.Meta[decideKey(p)] {
+					return false
+				}
+			}
+			return true
+		},
+		DecisionProp(0): func(r *runs.Run, t runs.Time) bool {
+			return r.Meta["decision"] == 0 && somebodyDecided(r, t)
+		},
+		DecisionProp(1): func(r *runs.Run, t runs.Time) bool {
+			return r.Meta["decision"] == 1 && somebodyDecided(r, t)
+		},
+		"somedecided": somebodyDecided,
+	}
+	return sys, interp, nil
+}
+
+func decideKey(p int) string { return fmt.Sprintf("decide%d", p) }
+
+func somebodyDecided(r *runs.Run, t runs.Time) bool {
+	for p := 0; p < r.N; p++ {
+		if int(t) >= r.Meta[decideKey(p)] {
+			return true
+		}
+	}
+	return false
+}
+
+// DecisionSpread returns the largest gap, over runs, between the first and
+// last decision times — 0 in lockstep systems, up to MaxDelay-MinDelay in
+// jittered ones.
+func DecisionSpread(sys *runs.System) runs.Time {
+	var spread runs.Time
+	for _, r := range sys.Runs {
+		lo, hi := runs.Time(1<<30), runs.Time(0)
+		for p := 0; p < r.N; p++ {
+			d := runs.Time(r.Meta[decideKey(p)])
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if hi-lo > spread {
+			spread = hi - lo
+		}
+	}
+	return spread
+}
+
+// Claims bundles the verdicts of the Section 12 checks.
+type Claims struct {
+	// CAtFirstDecision: in every run, C(alldecided) already holds at the
+	// run's first decision point. True under lockstep phases (deciding and
+	// everyone-having-decided coincide); false under jitter, where an
+	// early decider cannot know the laggards are done.
+	CAtFirstDecision bool
+	// CByPhaseEnd: C(alldecided) holds once the worst-case phase end has
+	// passed on the (global) clock — the time bound itself is common
+	// knowledge.
+	CByPhaseEnd bool
+	// CTAtPhaseEnd: C^T(alldecided) with T = phase end holds everywhere —
+	// the timestamped common knowledge the paper says phase protocols
+	// actually attain.
+	CTAtPhaseEnd bool
+	// CepsOnFirstDecision: C^ε(somedecided) holds from the first decision
+	// point on, with ε = the decision spread (0 means simultaneity, in
+	// which case plain C is required instead) — the early-stopping remark
+	// of Section 11.
+	CepsOnFirstDecision bool
+}
+
+// Check verifies the Section 12 claims on a system built by Build.
+func Check(cfg Config, sys *runs.System, interp runs.Interpretation) (Claims, error) {
+	pm := sys.Model(runs.CompleteHistoryView, interp)
+	var cl Claims
+
+	phaseEnd := cfg.PhaseEnd()
+	cSet, err := pm.Eval(logic.C(nil, logic.P(DecideProp)))
+	if err != nil {
+		return cl, err
+	}
+	cl.CAtFirstDecision = true
+	cl.CByPhaseEnd = true
+	for ri, r := range sys.Runs {
+		first := runs.Time(1 << 30)
+		for p := 0; p < r.N; p++ {
+			if d := runs.Time(r.Meta[decideKey(p)]); d < first {
+				first = d
+			}
+		}
+		if !cSet.Contains(pm.World(ri, first)) {
+			cl.CAtFirstDecision = false
+		}
+		if !cSet.Contains(pm.World(ri, phaseEnd)) {
+			cl.CByPhaseEnd = false
+		}
+	}
+
+	ctSet, err := pm.Eval(logic.Ct(nil, int(phaseEnd), logic.P(DecideProp)))
+	if err != nil {
+		return cl, err
+	}
+	cl.CTAtPhaseEnd = ctSet.IsFull()
+
+	eps := int(DecisionSpread(sys))
+	var spreadFormula logic.Formula
+	if eps == 0 {
+		spreadFormula = logic.C(nil, logic.P("somedecided"))
+	} else {
+		spreadFormula = logic.Ceps(nil, eps, logic.P("somedecided"))
+	}
+	ceSet, err := pm.Eval(spreadFormula)
+	if err != nil {
+		return cl, err
+	}
+	cl.CepsOnFirstDecision = true
+	for ri, r := range sys.Runs {
+		first := runs.Time(1 << 30)
+		for p := 0; p < r.N; p++ {
+			if d := runs.Time(r.Meta[decideKey(p)]); d < first {
+				first = d
+			}
+		}
+		for t := first; t <= sys.Horizon; t++ {
+			if !ceSet.Contains(pm.World(ri, t)) {
+				cl.CepsOnFirstDecision = false
+			}
+		}
+	}
+	return cl, nil
+}

@@ -1,0 +1,175 @@
+package agreement
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+func lockstep(t *testing.T) (Config, *runs.System, runs.Interpretation) {
+	t.Helper()
+	cfg := Config{N: 2, Variant: Lockstep, MinDelay: 1, MaxDelay: 1, Horizon: 5}
+	sys, interp, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, sys, interp
+}
+
+func jittered(t *testing.T) (Config, *runs.System, runs.Interpretation) {
+	t.Helper()
+	cfg := Config{N: 2, Variant: Jittered, MinDelay: 1, MaxDelay: 2, Horizon: 6}
+	sys, interp, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, sys, interp
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := []Config{
+		{N: 1, Variant: Lockstep, MinDelay: 1, MaxDelay: 1, Horizon: 5},
+		{N: 5, Variant: Lockstep, MinDelay: 1, MaxDelay: 1, Horizon: 5},
+		{N: 2, Variant: Lockstep, MinDelay: 0, MaxDelay: 1, Horizon: 5},
+		{N: 2, Variant: Lockstep, MinDelay: 1, MaxDelay: 2, Horizon: 6}, // lockstep needs fixed delay
+		{N: 2, Variant: Jittered, MinDelay: 2, MaxDelay: 1, Horizon: 6},
+		{N: 2, Variant: Jittered, MinDelay: 1, MaxDelay: 2, Horizon: 3}, // horizon too small
+	}
+	for _, cfg := range bad {
+		if _, _, err := Build(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestRunEnumeration(t *testing.T) {
+	_, sys, _ := lockstep(t)
+	// 2^2 bit patterns x 1 delay choice.
+	if len(sys.Runs) != 4 {
+		t.Errorf("lockstep: %d runs, want 4", len(sys.Runs))
+	}
+	_, jsys, _ := jittered(t)
+	// 2^2 bit patterns x 2^2 delay choices (2 messages, 2 options each).
+	if len(jsys.Runs) != 16 {
+		t.Errorf("jittered: %d runs, want 16", len(jsys.Runs))
+	}
+}
+
+func TestDecisionValues(t *testing.T) {
+	_, sys, _ := lockstep(t)
+	for _, r := range sys.Runs {
+		want := 1
+		for p := 0; p < r.N; p++ {
+			if r.Init[p] == "0" {
+				want = 0
+			}
+		}
+		if r.Meta["decision"] != want {
+			t.Errorf("run %s: decision %d, want %d", r.Name, r.Meta["decision"], want)
+		}
+	}
+}
+
+func TestDecisionSpread(t *testing.T) {
+	_, sys, _ := lockstep(t)
+	if got := DecisionSpread(sys); got != 0 {
+		t.Errorf("lockstep spread = %d, want 0", got)
+	}
+	_, jsys, _ := jittered(t)
+	if got := DecisionSpread(jsys); got != 1 {
+		t.Errorf("jittered spread = %d, want 1", got)
+	}
+}
+
+func TestLockstepAttainsCommonKnowledge(t *testing.T) {
+	cfg, sys, interp := lockstep(t)
+	cl, err := Check(cfg, sys, interp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.CAtFirstDecision {
+		t.Error("lockstep: C(alldecided) should hold at the decision point")
+	}
+	if !cl.CByPhaseEnd || !cl.CTAtPhaseEnd {
+		t.Error("lockstep: C and C^T should hold at the phase end")
+	}
+	if !cl.CepsOnFirstDecision {
+		t.Error("lockstep: decisions are simultaneous, so C should hold from the decision point")
+	}
+}
+
+func TestJitteredLosesCommonKnowledgeKeepsCT(t *testing.T) {
+	cfg, sys, interp := jittered(t)
+	cl, err := Check(cfg, sys, interp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.CAtFirstDecision {
+		t.Error("jittered: an early decider cannot have C(alldecided) at its decision point")
+	}
+	if !cl.CByPhaseEnd {
+		t.Error("jittered: C(alldecided) should hold once the worst-case bound passes")
+	}
+	if !cl.CTAtPhaseEnd {
+		t.Error("jittered: C^T(alldecided) with the phase-end timestamp should hold")
+	}
+	if !cl.CepsOnFirstDecision {
+		t.Error("jittered: C^eps(somedecided) should hold from the first decision")
+	}
+}
+
+func TestJitteredCEventuallyByClock(t *testing.T) {
+	// With identity (global) clocks, C(alldecided) IS eventually attained
+	// in the jittered variant: once the clock passes the latest possible
+	// decision time, the phase being over is common knowledge. The
+	// interesting failure is at the nominal phase end, where some runs
+	// have decided and others have not.
+	cfg, sys, interp := jittered(t)
+	pm := sys.Model(runs.CompleteHistoryView, interp)
+	cSet, err := pm.Eval(logic.C(nil, logic.P(DecideProp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := cfg.MaxDelay + 1
+	for ri := range sys.Runs {
+		if !cSet.Contains(pm.World(ri, late+1)) {
+			t.Errorf("C(alldecided) should hold once the clock passes every decision time")
+		}
+	}
+}
+
+func TestDecisionValueKnowledge(t *testing.T) {
+	// Every processor knows the decision value once it has decided; the
+	// value itself becomes epsilon-common knowledge within the spread.
+	_, sys, interp := jittered(t)
+	pm := sys.Model(runs.CompleteHistoryView, interp)
+	for ri, r := range sys.Runs {
+		v := r.Meta["decision"]
+		for p := 0; p < r.N; p++ {
+			dt := runs.Time(r.Meta[decideKey(p)])
+			f := logic.K(logic.Agent(p), logic.P(DecisionProp(v)))
+			set, err := pm.Eval(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !set.Contains(pm.World(ri, dt)) {
+				t.Errorf("run %s: p%d should know the decision value at its decision time %d", r.Name, p, dt)
+			}
+		}
+	}
+}
+
+func BenchmarkBuildAndCheckJittered(b *testing.B) {
+	cfg := Config{N: 2, Variant: Jittered, MinDelay: 1, MaxDelay: 2, Horizon: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, interp, err := Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Check(cfg, sys, interp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

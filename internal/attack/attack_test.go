@@ -1,0 +1,297 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+func build(t *testing.T, budget int, horizon runs.Time) *System {
+	t.Helper()
+	s, err := Build(budget, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildRunCount(t *testing.T) {
+	// Budget k over the unreliable channel: runs are "first loss at
+	// message i" (i = 1..k) plus the all-delivered run, plus the idle run.
+	s := build(t, 3, 8)
+	if len(s.Sys.Runs) != 5 {
+		t.Fatalf("budget 3: %d runs, want 5", len(s.Sys.Runs))
+	}
+	goRuns, idleRuns := 0, 0
+	for _, r := range s.Sys.Runs {
+		if strings.HasPrefix(r.Name, "go") {
+			goRuns++
+		} else {
+			idleRuns++
+			if len(r.Messages) != 0 {
+				t.Errorf("idle run %s has messages", r.Name)
+			}
+		}
+	}
+	if goRuns != 4 || idleRuns != 1 {
+		t.Errorf("go=%d idle=%d, want 4/1", goRuns, idleRuns)
+	}
+}
+
+func TestNGConditionsHold(t *testing.T) {
+	s := build(t, 2, 6)
+	if err := protocol.CheckNG1(s.Sys); err != nil {
+		t.Errorf("NG1: %v", err)
+	}
+	if err := protocol.CheckNG2(s.Sys); err != nil {
+		t.Errorf("NG2: %v", err)
+	}
+}
+
+func TestEvaluateRuleOutcomes(t *testing.T) {
+	s := build(t, 3, 8)
+
+	// "Never attack" is trivially correct and never attacks.
+	never := func(protocol.LocalView) bool { return false }
+	out := s.Evaluate(never, never)
+	if !out.Simultaneous || !out.NoAttackWithoutComms || out.EverAttacks {
+		t.Errorf("never-attack outcome = %+v", out)
+	}
+
+	// "Attack at time 5 unconditionally" is simultaneous but violates the
+	// no-plans premise (attacks in the silent run).
+	uncond := ThresholdRule(5, 0)
+	out = s.Evaluate(uncond, uncond)
+	if !out.Simultaneous {
+		t.Errorf("unconditional attack should be simultaneous: %+v", out)
+	}
+	if out.NoAttackWithoutComms {
+		t.Error("unconditional attack should violate the no-communication premise")
+	}
+
+	// "B attacks upon the first message, A attacks upon the first ack":
+	// not simultaneous (and not even eventually coordinated: the ack can
+	// be lost after B received the message... B attacks, A may not).
+	out = s.Evaluate(EventRule(1), EventRule(1))
+	if out.Simultaneous {
+		t.Errorf("event rules should fail simultaneity: %+v", out)
+	}
+	if out.EventuallyCoordinated {
+		t.Error("event rules should fail eventual coordination")
+	}
+}
+
+func TestCorollary6(t *testing.T) {
+	s := build(t, 3, 8)
+	rep, err := s.CheckCorollary6()
+	if err != nil {
+		t.Fatalf("Corollary 6 violated: %v", err)
+	}
+	if rep.RulesTried == 0 || rep.CorrectRules == 0 {
+		t.Fatalf("degenerate search: %+v", rep)
+	}
+	if rep.AttackingAmongCorrect != 0 {
+		t.Errorf("correct attacking rules found: %+v", rep)
+	}
+	t.Logf("Corollary 6: %d rule pairs tried, %d correct, all non-attacking", rep.RulesTried, rep.CorrectRules)
+}
+
+func TestProposition10(t *testing.T) {
+	s := build(t, 3, 8)
+	rep, err := s.CheckProposition10()
+	if err != nil {
+		t.Fatalf("Proposition 10 violated: %v", err)
+	}
+	if rep.CorrectRules == 0 {
+		t.Fatalf("degenerate search: %+v", rep)
+	}
+}
+
+func TestProposition4OnUnreliableSystem(t *testing.T) {
+	// With the never-attack rule (the only correct one), attacking is
+	// false everywhere and Proposition 4 holds vacuously.
+	s := build(t, 2, 6)
+	never := func(protocol.LocalView) bool { return false }
+	pm := s.Sys.Model(runs.CompleteHistoryView, s.Interp(never, never))
+	if err := CheckProposition4(pm); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProposition4OnReliableSystem(t *testing.T) {
+	// Over a reliable channel a correct attacking protocol exists:
+	// A attacks at time 3 if in favor; B attacks at time 3 if it received
+	// the initiation. Proposition 4 then shows C attacking at the attack
+	// points.
+	s, err := ReliableSystem(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ruleA := func(v protocol.LocalView) bool {
+		return v.HasClock && v.Clock >= 3 && v.Init == "go"
+	}
+	ruleB := ThresholdRule(3, 1)
+	out := s.Evaluate(ruleA, ruleB)
+	if !out.Simultaneous || !out.NoAttackWithoutComms {
+		t.Fatalf("reliable-channel protocol should be correct: %+v", out)
+	}
+	if !out.EverAttacks {
+		t.Fatal("reliable-channel protocol should attack in the go runs")
+	}
+	pm := s.Sys.Model(runs.CompleteHistoryView, s.Interp(ruleA, ruleB))
+	if err := CheckProposition4(pm); err != nil {
+		t.Error(err)
+	}
+	// And the attack is indeed commonly known at the attack point of a go
+	// run.
+	g := logic.NewGroup(GeneralA, GeneralB)
+	var goRun string
+	for _, r := range s.Sys.Runs {
+		if r.Init[GeneralA] == "go" {
+			goRun = r.Name
+			break
+		}
+	}
+	ok, err := pm.HoldsAt(logic.C(g, logic.P(AttackingProp)), goRun, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("C attacking should hold at the attack point on the reliable channel")
+	}
+}
+
+func TestAlternatingKnowledgeDepthEqualsDeliveries(t *testing.T) {
+	// Section 4/7: each delivered message adds one level of alternating
+	// knowledge of A's intent; no correct protocol can do better.
+	s := build(t, 4, 10)
+	never := func(protocol.LocalView) bool { return false }
+	pm := s.Sys.Model(runs.CompleteHistoryView, s.Interp(never, never))
+
+	for ri, r := range s.Sys.Runs {
+		if r.Init[GeneralA] != "go" {
+			continue
+		}
+		d := 0
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				d++
+			}
+		}
+		// Depth-d alternating knowledge holds at the end; depth-(d+1)
+		// does not. Message i is received by B for odd i, A for even i.
+		f := logic.P(IntentProp)
+		for i := 1; i <= d; i++ {
+			if i%2 == 1 {
+				f = logic.K(GeneralB, f)
+			} else {
+				f = logic.K(GeneralA, f)
+			}
+		}
+		end := pm.World(ri, s.Sys.Horizon)
+		if d > 0 {
+			set, err := pm.Eval(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !set.Contains(end) {
+				t.Errorf("run %s (d=%d): depth-%d knowledge missing", r.Name, d, d)
+			}
+		}
+		var next logic.Formula
+		if d%2 == 0 {
+			next = logic.K(GeneralB, f)
+		} else {
+			next = logic.K(GeneralA, f)
+		}
+		set, err := pm.Eval(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Contains(end) {
+			t.Errorf("run %s (d=%d): depth-%d knowledge unexpectedly holds", r.Name, d, d+1)
+		}
+	}
+}
+
+func TestCommonKnowledgeOfIntentUnattainable(t *testing.T) {
+	s := build(t, 3, 8)
+	never := func(protocol.LocalView) bool { return false }
+	pm := s.Sys.Model(runs.CompleteHistoryView, s.Interp(never, never))
+	set, err := pm.Eval(logic.MustParse("C intent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.IsEmpty() {
+		t.Errorf("C intent should be unattainable, holds at %s", set)
+	}
+	// Theorem 5 holds on this system.
+	if _, err := protocol.CheckTheorem5(pm, nil, []logic.Formula{logic.P(IntentProp), logic.P(AttackingProp)}); err != nil {
+		t.Errorf("Theorem 5: %v", err)
+	}
+}
+
+func TestEventualDepthWithoutEventualCommonKnowledge(t *testing.T) {
+	// Section 11's counterexample: in the all-delivered run, (E^⋄)^k intent
+	// holds for every k the budget supports, yet C^⋄ intent never holds.
+	s := build(t, 4, 10)
+	never := func(protocol.LocalView) bool { return false }
+	pm := s.Sys.Model(runs.CompleteHistoryView, s.Interp(never, never))
+
+	// Find the all-delivered go run.
+	var best string
+	bestD := -1
+	for _, r := range s.Sys.Runs {
+		d := 0
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				d++
+			}
+		}
+		if r.Init[GeneralA] == "go" && d > bestD {
+			bestD = d
+			best = r.Name
+		}
+	}
+	if bestD != 4 {
+		t.Fatalf("all-delivered run has %d deliveries, want 4", bestD)
+	}
+	depth, err := MaxEventualDepth(pm, best, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth < 3 {
+		t.Errorf("(E^⋄)^k intent depth = %d, want >= 3", depth)
+	}
+	cv, err := pm.Eval(logic.MustParse("Cv intent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cv.IsEmpty() {
+		t.Errorf("Cv intent should fail everywhere, holds at %s", cv)
+	}
+}
+
+func BenchmarkCorollary6(b *testing.B) {
+	s, err := Build(3, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CheckCorollary6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildAttackSystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(4, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package chains implements the message-chain analysis of knowledge gain
+// (Chandy & Misra, "How processes learn", cited in Sections 8, 14 and
+// Appendix B of Halpern & Moses): in an asynchronous (clockless,
+// event-driven) system, a processor can come to know a contingent fact
+// about another processor's initial state only if a chain of messages
+// carries the information — message m1 sent by the source, received by a
+// processor that later sends m2, and so on, ending at the learner.
+//
+// The package computes message chains in runs and machine-checks the
+// theorem over generated systems: wherever K_i("p_j's initial state is v")
+// holds, a chain from p_j to p_i has completed in time to be observed.
+package chains
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// EarliestInfluence returns, for each processor, the earliest time its
+// local state can reflect information originating in processor from's
+// initial state: 0 for from itself, and for others the earliest receive
+// time over message chains from from (runs.Lost if no chain reaches them).
+func EarliestInfluence(r *runs.Run, from int) []runs.Time {
+	const inf = runs.Time(1 << 30)
+	earliest := make([]runs.Time, r.N)
+	for i := range earliest {
+		earliest[i] = inf
+	}
+	earliest[from] = 0
+	// Relax until fixpoint; chains are acyclic in time, so repeated passes
+	// converge (each pass propagates at least one more hop).
+	for changed := true; changed; {
+		changed = false
+		for _, m := range r.Messages {
+			if !m.Delivered() {
+				continue
+			}
+			// The sender's state influences the message if the sender is
+			// the source itself (its initial state is in its history from
+			// the start) or the influence was received strictly before
+			// the send (a send at time t depends on history before t).
+			available := m.From == from || (earliest[m.From] != inf && earliest[m.From] < m.SendTime)
+			if available && m.RecvTime < earliest[m.To] {
+				earliest[m.To] = m.RecvTime
+				changed = true
+			}
+		}
+	}
+	for i := range earliest {
+		if earliest[i] == inf {
+			earliest[i] = runs.Lost
+		}
+	}
+	return earliest
+}
+
+// HasChain reports whether a message chain from processor from reaches
+// processor to early enough to be part of to's history at time t (the last
+// receive is strictly before t). A processor trivially "reaches" itself.
+func HasChain(r *runs.Run, from, to int, t runs.Time) bool {
+	if from == to {
+		return true
+	}
+	e := EarliestInfluence(r, from)[to]
+	return e != runs.Lost && e < t
+}
+
+// InitProp returns the ground-fact name for "processor j's initial state
+// is v".
+func InitProp(j int, v string) string { return fmt.Sprintf("init%d=%s", j, v) }
+
+// InitInterpretation builds the interpretation assigning InitProp(j, v)
+// for every processor j and value v occurring in the system.
+func InitInterpretation(sys *runs.System) runs.Interpretation {
+	interp := runs.Interpretation{}
+	for j := 0; j < sys.N; j++ {
+		values := map[string]bool{}
+		for _, r := range sys.Runs {
+			values[r.Init[j]] = true
+		}
+		for v := range values {
+			j, v := j, v
+			interp[InitProp(j, v)] = func(r *runs.Run, _ runs.Time) bool {
+				return r.Init[j] == v
+			}
+		}
+	}
+	return interp
+}
+
+// GainReport summarizes a knowledge-gain check.
+type GainReport struct {
+	// PointsChecked counts (point, learner, source, value) combinations
+	// where the learner knows the source's initial value.
+	PointsChecked int
+	// KnowledgeWithChain counts those backed by a message chain.
+	KnowledgeWithChain int
+}
+
+// CheckKnowledgeGain verifies the message-chain theorem on a clockless
+// system: for all processors i != j and every value v of p_j's initial
+// state that is contingent (not constant across runs), whenever
+// K_i(init_j = v) holds at (r, t) there is a message chain from j to i
+// completing before t. Returns the tally, or an error with the first
+// counterexample.
+func CheckKnowledgeGain(pm *runs.PointModel) (GainReport, error) {
+	var rep GainReport
+	sys := pm.Sys
+	for _, r := range sys.Runs {
+		for p := 0; p < sys.N; p++ {
+			if r.HasClock(p) {
+				return rep, fmt.Errorf("chains: the message-chain theorem needs a clockless system; p%d has a clock in %s", p, r.Name)
+			}
+		}
+	}
+	for j := 0; j < sys.N; j++ {
+		values := map[string]bool{}
+		constant := true
+		for _, r := range sys.Runs {
+			values[r.Init[j]] = true
+			if r.Init[j] != sys.Runs[0].Init[j] {
+				constant = false
+			}
+		}
+		if constant {
+			continue // the fact is community knowledge, no chain needed
+		}
+		for v := range values {
+			phi := logic.P(InitProp(j, v))
+			for i := 0; i < sys.N; i++ {
+				if i == j {
+					continue
+				}
+				set, err := pm.Eval(logic.K(logic.Agent(i), phi))
+				if err != nil {
+					return rep, err
+				}
+				for ri, r := range sys.Runs {
+					for t := runs.Time(0); t <= sys.Horizon; t++ {
+						if !set.Contains(pm.World(ri, t)) {
+							continue
+						}
+						rep.PointsChecked++
+						if !HasChain(r, j, i, t) {
+							return rep, fmt.Errorf(
+								"chains: p%d knows %s at (%s,%d) with no message chain from p%d",
+								i, phi, r.Name, t, j)
+						}
+						rep.KnowledgeWithChain++
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}

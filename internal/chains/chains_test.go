@@ -1,0 +1,199 @@
+package chains
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+func TestEarliestInfluenceRelay(t *testing.T) {
+	// p0 -> p1 at (1, 2), p1 -> p2 at (3, 4): influence from p0 reaches
+	// p1 at 2 and p2 at 4. The second hop works because 2 < 3.
+	r := runs.NewRun("relay", 3, 6)
+	r.Send(0, 1, 1, 2, "a")
+	r.Send(1, 2, 3, 4, "b")
+	e := EarliestInfluence(r, 0)
+	if e[0] != 0 || e[1] != 2 || e[2] != 4 {
+		t.Errorf("EarliestInfluence = %v, want [0 2 4]", e)
+	}
+	if !HasChain(r, 0, 2, 5) {
+		t.Error("chain should reach p2 by t=5")
+	}
+	if HasChain(r, 0, 2, 4) {
+		t.Error("receive at 4 is not in p2's history at t=4")
+	}
+}
+
+func TestChainNeedsCausalOrder(t *testing.T) {
+	// p1's send happens at the same instant it receives from p0: the
+	// information cannot have been incorporated (sends depend on history
+	// strictly before the send).
+	r := runs.NewRun("tight", 3, 6)
+	r.Send(0, 1, 1, 2, "a")
+	r.Send(1, 2, 2, 3, "b") // sent at 2, the receive at 2 not yet in history
+	e := EarliestInfluence(r, 0)
+	if e[2] != runs.Lost {
+		t.Errorf("influence should not pass through a same-instant relay, got %v", e)
+	}
+}
+
+func TestLostMessagesCarryNothing(t *testing.T) {
+	r := runs.NewRun("lossy", 2, 5)
+	r.SendLost(0, 1, 1, "a")
+	if HasChain(r, 0, 1, 5) {
+		t.Error("a lost message is not a chain")
+	}
+}
+
+// forwardingProtocols returns clockless protocols: the source (p0) sends
+// its initial bit to p1 at the first opportunity; p1 forwards anything it
+// receives to p2.
+func forwardingProtocols() []protocol.Protocol {
+	src := protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+		if len(v.Sent) == 0 {
+			return []protocol.Outgoing{{To: 1, Payload: "bit=" + v.Init}}
+		}
+		return nil
+	})
+	fwd := protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+		if len(v.Received) > len(v.Sent) {
+			return []protocol.Outgoing{{To: 2, Payload: "fwd:" + v.Received[len(v.Sent)].Payload}}
+		}
+		return nil
+	})
+	return []protocol.Protocol{src, fwd, protocol.Silent}
+}
+
+func relaySystem(t *testing.T, ch protocol.Channel) *runs.PointModel {
+	t.Helper()
+	cfgs := []protocol.Config{
+		{Name: "one", Init: []string{"1", "", ""}},
+		{Name: "zero", Init: []string{"0", "", ""}},
+	}
+	sys, err := protocol.Generate(forwardingProtocols(), ch, cfgs, 8, protocol.Options{MaxMessagesPerRun: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Model(runs.CompleteHistoryView, InitInterpretation(sys))
+}
+
+func TestKnowledgeGainOnRelay(t *testing.T) {
+	pm := relaySystem(t, protocol.Unreliable{Delay: 1})
+	rep, err := CheckKnowledgeGain(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PointsChecked == 0 {
+		t.Fatal("no knowledge points found; the relay should teach p1 and p2")
+	}
+	if rep.KnowledgeWithChain != rep.PointsChecked {
+		t.Errorf("chains missing: %+v", rep)
+	}
+	// And p2 does learn p0's bit in the fully delivered run.
+	learned := false
+	for ri, r := range pm.Sys.Runs {
+		set, err := pm.Eval(logic.K(2, logic.P(InitProp(0, "1"))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Init[0] == "1" && set.Contains(pm.World(ri, pm.Sys.Horizon)) {
+			learned = true
+		}
+	}
+	if !learned {
+		t.Error("p2 should learn p0's bit through the relay in some run")
+	}
+}
+
+func TestKnowledgeGainRejectsClockedSystems(t *testing.T) {
+	r := runs.NewRun("clocked", 2, 4)
+	r.SetIdentityClock(0)
+	sys := runs.MustSystem(r)
+	pm := sys.Model(runs.CompleteHistoryView, runs.Interpretation{})
+	if _, err := CheckKnowledgeGain(pm); err == nil {
+		t.Error("clocked systems must be rejected (timing can leak information)")
+	}
+}
+
+// TestQuickKnowledgeGain property-checks the theorem over randomized
+// clockless protocols and channels.
+func TestQuickKnowledgeGain(t *testing.T) {
+	channels := []protocol.Channel{
+		protocol.Reliable{Delay: 1},
+		protocol.Unreliable{Delay: 1},
+		protocol.BoundedDelay{Min: 1, Max: 2},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3
+		// Random static routing: processor p forwards its k-th message to
+		// route[p][k]; the source sends its bit spontaneously.
+		route := make([][]int, n)
+		for p := range route {
+			route[p] = []int{rng.Intn(n), rng.Intn(n)}
+			for i, to := range route[p] {
+				if to == p {
+					route[p][i] = (p + 1) % n
+				}
+			}
+		}
+		protos := make([]protocol.Protocol, n)
+		for p := 0; p < n; p++ {
+			p := p
+			protos[p] = protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+				if v.Me == 0 && len(v.Sent) == 0 && len(v.Received) == 0 {
+					return []protocol.Outgoing{{To: route[0][0], Payload: "bit=" + v.Init}}
+				}
+				if len(v.Received) > len(v.Sent) && len(v.Sent) < len(route[p]) {
+					return []protocol.Outgoing{{
+						To:      route[p][len(v.Sent)],
+						Payload: "f:" + v.Received[len(v.Sent)].Payload,
+					}}
+				}
+				return nil
+			})
+		}
+		cfgs := []protocol.Config{
+			{Name: "one", Init: []string{"1", "", ""}},
+			{Name: "zero", Init: []string{"0", "", ""}},
+		}
+		ch := channels[rng.Intn(len(channels))]
+		sys, err := protocol.Generate(protos, ch, cfgs, 7, protocol.Options{MaxMessagesPerRun: 4})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		pm := sys.Model(runs.CompleteHistoryView, InitInterpretation(sys))
+		if _, err := CheckKnowledgeGain(pm); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKnowledgeGain(b *testing.B) {
+	cfgs := []protocol.Config{
+		{Name: "one", Init: []string{"1", "", ""}},
+		{Name: "zero", Init: []string{"0", "", ""}},
+	}
+	sys, err := protocol.Generate(forwardingProtocols(), protocol.Unreliable{Delay: 1}, cfgs, 8,
+		protocol.Options{MaxMessagesPerRun: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := sys.Model(runs.CompleteHistoryView, InitInterpretation(sys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CheckKnowledgeGain(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package consistency implements Section 13 of Halpern & Moses: internal
+// knowledge consistency. An epistemic interpretation ascribes beliefs to
+// processors as a function of their local histories; it is a knowledge
+// interpretation if beliefs are always true, and internally knowledge
+// consistent if there is a subsystem R' ⊆ R on which it is a knowledge
+// interpretation and which realizes every local history occurring in R —
+// so nothing a processor ever observes contradicts acting as if the
+// beliefs were knowledge.
+//
+// The canonical example (Sections 8 and 13) is the "eager" interpretation
+// of distributed commit: the coordinator believes the transaction is
+// (common) knowledge as soon as it sends the commit message, and the
+// participant as soon as it receives it. During the window of
+// vulnerability these beliefs are false, so the interpretation is not
+// knowledge consistent — but it is internally knowledge consistent with
+// respect to the subsystem of runs with instantaneous delivery.
+package consistency
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// Epistemic ascribes beliefs to processors as a function of their local
+// history, as required by Section 6's definition of an epistemic
+// interpretation.
+type Epistemic struct {
+	// Believes returns the formulas processor p believes when its local
+	// history is h (the canonical encoding of runs.Run.History).
+	Believes func(p int, h string) []logic.Formula
+}
+
+// Violation describes one point where a belief is false.
+type Violation struct {
+	Run     string
+	T       runs.Time
+	Proc    int
+	Formula string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("p%d believes %s at (%s,%d) but it is false", v.Proc, v.Formula, v.Run, v.T)
+}
+
+// CheckKnowledgeConsistent verifies the knowledge axiom for the epistemic
+// interpretation over the point model: every believed formula is true at
+// every point where it is believed. Believed formulas are evaluated under
+// the model's (view-based) semantics, so beliefs may mention K and C.
+// It returns all violations found.
+func CheckKnowledgeConsistent(pm *runs.PointModel, e Epistemic) ([]Violation, error) {
+	var out []Violation
+	cache := make(map[string]*bitset.Set)
+	sys := pm.Sys
+	for ri, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			for p := 0; p < sys.N; p++ {
+				for _, f := range e.Believes(p, r.History(p, t)) {
+					key := f.String()
+					set, ok := cache[key]
+					if !ok {
+						var err error
+						set, err = pm.Eval(f)
+						if err != nil {
+							return nil, err
+						}
+						cache[key] = set
+					}
+					if !set.Contains(pm.World(ri, t)) {
+						out = append(out, Violation{Run: r.Name, T: t, Proc: p, Formula: key})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckInternallyConsistent verifies that the epistemic interpretation is
+// internally knowledge consistent with respect to the subsystem consisting
+// of the named runs: (1) restricted to the subsystem it is a knowledge
+// interpretation, and (2) every local history occurring anywhere in the
+// full system also occurs at some point of the subsystem.
+func CheckInternallyConsistent(full *runs.System, view runs.ViewFunc, interp runs.Interpretation, e Epistemic, subsystem []string) error {
+	subRuns := make([]*runs.Run, 0, len(subsystem))
+	for _, name := range subsystem {
+		r, ok := full.RunByName(name)
+		if !ok {
+			return fmt.Errorf("consistency: no run named %q", name)
+		}
+		subRuns = append(subRuns, r)
+	}
+	if len(subRuns) == 0 {
+		return fmt.Errorf("consistency: empty subsystem")
+	}
+	sub, err := runs.NewSystem(subRuns...)
+	if err != nil {
+		return err
+	}
+	pm := sub.Model(view, interp)
+	viol, err := CheckKnowledgeConsistent(pm, e)
+	if err != nil {
+		return err
+	}
+	if len(viol) > 0 {
+		return fmt.Errorf("consistency: subsystem not knowledge consistent: %s (and %d more)", viol[0], len(viol)-1)
+	}
+
+	// History coverage: every history in the full system occurs in the
+	// subsystem.
+	have := make(map[[2]any]bool)
+	for _, r := range sub.Runs {
+		for t := runs.Time(0); t <= sub.Horizon; t++ {
+			for p := 0; p < sub.N; p++ {
+				have[[2]any{p, r.History(p, t)}] = true
+			}
+		}
+	}
+	for _, r := range full.Runs {
+		for t := runs.Time(0); t <= full.Horizon; t++ {
+			for p := 0; p < full.N; p++ {
+				if !have[[2]any{p, r.History(p, t)}] {
+					return fmt.Errorf("consistency: history of p%d at (%s,%d) unrealized in subsystem", p, r.Name, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FindConsistentSubsystem searches all nonempty subsets of runs (largest
+// first) for one witnessing internal knowledge consistency. It returns the
+// run names of the first witness, or an error if none exists. The search
+// is exponential in the number of runs and intended for the small systems
+// of this reproduction (at most ~16 runs).
+func FindConsistentSubsystem(full *runs.System, view runs.ViewFunc, interp runs.Interpretation, e Epistemic) ([]string, error) {
+	n := len(full.Runs)
+	if n > 16 {
+		return nil, fmt.Errorf("consistency: subset search supports at most 16 runs, got %d", n)
+	}
+	// Order masks by descending population count so the largest witness is
+	// found first.
+	masks := make([]int, 0, 1<<n)
+	for m := 1; m < 1<<n; m++ {
+		masks = append(masks, m)
+	}
+	for size := n; size >= 1; size-- {
+		for _, m := range masks {
+			if bits.OnesCount(uint(m)) != size {
+				continue
+			}
+			var names []string
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					names = append(names, full.Runs[i].Name)
+				}
+			}
+			if err := CheckInternallyConsistent(full, view, interp, e, names); err == nil {
+				return names, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("consistency: no internally consistent subsystem exists")
+}
+
+// CommitSystem builds the distributed-commit example: the coordinator (p0)
+// sends "commit" to the participant (p1) at time 1; delivery takes 0, 1 or
+// 2 ticks (one run each); processors have no clocks. The ground fact
+// "committed" holds once the participant has received the message.
+func CommitSystem(horizon runs.Time) (*runs.System, runs.Interpretation, error) {
+	if horizon < 4 {
+		return nil, nil, fmt.Errorf("consistency: horizon must be at least 4")
+	}
+	mk := func(name string, d runs.Time) *runs.Run {
+		r := runs.NewRun(name, 2, horizon)
+		r.Send(0, 1, 1, 1+d, "commit")
+		return r
+	}
+	sys, err := runs.NewSystem(mk("instant", 0), mk("slow", 1), mk("slower", 2))
+	if err != nil {
+		return nil, nil, err
+	}
+	interp := runs.Interpretation{
+		"committed": runs.StablyTrue(runs.ReceivedBy("commit")),
+	}
+	return sys, interp, nil
+}
+
+// EagerCommit is the eager epistemic interpretation of the commit example:
+// the coordinator believes the transaction is committed — and commonly
+// known to be — as soon as it sends the commit message, the participant as
+// soon as it receives it.
+func EagerCommit() Epistemic {
+	committed := logic.P("committed")
+	beliefs := []logic.Formula{committed, logic.C(nil, committed)}
+	return Epistemic{
+		Believes: func(p int, h string) []logic.Formula {
+			switch p {
+			case 0:
+				if strings.Contains(h, ";s:") { // has sent
+					return beliefs
+				}
+			case 1:
+				if strings.Contains(h, ";r:") { // has received
+					return beliefs
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,157 @@
+package consistency
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+func commit(t *testing.T) (*runs.System, runs.Interpretation) {
+	t.Helper()
+	sys, interp, err := CommitSystem(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, interp
+}
+
+func TestEagerCommitNotKnowledgeConsistent(t *testing.T) {
+	sys, interp := commit(t)
+	pm := sys.Model(runs.CompleteHistoryView, interp)
+	viol, err := CheckKnowledgeConsistent(pm, EagerCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Fatal("the eager interpretation should violate the knowledge axiom")
+	}
+	// A violation occurs in the window of vulnerability: the coordinator
+	// believes "committed" after sending while the slow runs have not yet
+	// delivered.
+	found := false
+	for _, v := range viol {
+		if v.Proc == 0 && v.Run == "slower" && v.Formula == "committed" && v.T == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a coordinator violation at (slower, 2); got %v", viol)
+	}
+}
+
+func TestEagerCommitInternallyConsistent(t *testing.T) {
+	sys, interp := commit(t)
+	// With respect to the instantaneous-delivery subsystem, the eager
+	// beliefs are true whenever held, and every history of the full system
+	// occurs there (no clocks, so timing is invisible).
+	err := CheckInternallyConsistent(sys, runs.CompleteHistoryView, interp, EagerCommit(), []string{"instant"})
+	if err != nil {
+		t.Errorf("eager commit should be internally consistent wrt {instant}: %v", err)
+	}
+}
+
+func TestSlowSubsystemNotConsistent(t *testing.T) {
+	sys, interp := commit(t)
+	// {slower} alone is not a witness: the coordinator's post-send belief
+	// in "committed" is false during the delivery window even inside it.
+	err := CheckInternallyConsistent(sys, runs.CompleteHistoryView, interp, EagerCommit(), []string{"slower"})
+	if err == nil {
+		t.Error("{slower} should not witness internal consistency")
+	}
+	// And the full system is not a witness either.
+	err = CheckInternallyConsistent(sys, runs.CompleteHistoryView, interp, EagerCommit(),
+		[]string{"instant", "slow", "slower"})
+	if err == nil {
+		t.Error("the full system should not witness internal consistency")
+	}
+}
+
+func TestFindConsistentSubsystem(t *testing.T) {
+	sys, interp := commit(t)
+	names, err := FindConsistentSubsystem(sys, runs.CompleteHistoryView, interp, EagerCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "instant" {
+		t.Errorf("witness = %v, want [instant]", names)
+	}
+}
+
+func TestNoWitnessWhenBeliefsAbsurd(t *testing.T) {
+	sys, interp := commit(t)
+	absurd := Epistemic{
+		Believes: func(p int, h string) []logic.Formula {
+			return []logic.Formula{logic.False}
+		},
+	}
+	if _, err := FindConsistentSubsystem(sys, runs.CompleteHistoryView, interp, absurd); err == nil {
+		t.Error("believing false can never be internally consistent")
+	}
+}
+
+func TestTrivialBeliefsAlwaysConsistent(t *testing.T) {
+	sys, interp := commit(t)
+	trivial := Epistemic{
+		Believes: func(int, string) []logic.Formula { return nil },
+	}
+	pm := sys.Model(runs.CompleteHistoryView, interp)
+	viol, err := CheckKnowledgeConsistent(pm, trivial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 0 {
+		t.Error("believing nothing is vacuously knowledge consistent")
+	}
+	if err := CheckInternallyConsistent(sys, runs.CompleteHistoryView, interp, trivial,
+		[]string{"instant", "slow", "slower"}); err != nil {
+		t.Errorf("trivial beliefs should be internally consistent wrt the full system: %v", err)
+	}
+}
+
+func TestHistoryCoverageEnforced(t *testing.T) {
+	// A subsystem missing a realized history must be rejected even if it
+	// is knowledge consistent. Build a system where run "b" contains a
+	// history that run "a" lacks, with no beliefs at all.
+	a := runs.NewRun("a", 2, 4)
+	b := runs.NewRun("b", 2, 4)
+	b.Send(0, 1, 1, 2, "x")
+	sys := runs.MustSystem(a, b)
+	trivial := Epistemic{Believes: func(int, string) []logic.Formula { return nil }}
+	err := CheckInternallyConsistent(sys, runs.CompleteHistoryView, runs.Interpretation{}, trivial, []string{"a"})
+	if err == nil {
+		t.Error("subsystem {a} cannot realize b's post-receive history")
+	}
+	if err != nil && !strings.Contains(err.Error(), "unrealized") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	sys, interp := commit(t)
+	e := EagerCommit()
+	if err := CheckInternallyConsistent(sys, runs.CompleteHistoryView, interp, e, nil); err == nil {
+		t.Error("empty subsystem accepted")
+	}
+	if err := CheckInternallyConsistent(sys, runs.CompleteHistoryView, interp, e, []string{"nope"}); err == nil {
+		t.Error("unknown run accepted")
+	}
+	if _, _, err := CommitSystem(2); err == nil {
+		t.Error("tiny horizon accepted")
+	}
+}
+
+func BenchmarkFindConsistentSubsystem(b *testing.B) {
+	sys, interp, err := CommitSystem(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := EagerCommit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindConsistentSubsystem(sys, runs.CompleteHistoryView, interp, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

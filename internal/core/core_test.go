@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in short mode")
+	}
+	reps, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(All()) {
+		t.Fatalf("ran %d experiments, want %d", len(reps), len(All()))
+	}
+	for _, r := range reps {
+		if !r.Pass {
+			t.Errorf("experiment %s failed:\n%s", r.ID, r)
+		}
+		if len(r.Lines) == 0 {
+			t.Errorf("experiment %s produced no findings", r.ID)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "EX", Title: "test", Pass: true}
+	r.addf("row %d", 1)
+	s := r.String()
+	if !strings.Contains(s, "[EX]") || !strings.Contains(s, "PASS") || !strings.Contains(s, "row 1") {
+		t.Errorf("rendering = %q", s)
+	}
+	r.failf("broken %s", "thing")
+	if r.Pass {
+		t.Error("failf should clear Pass")
+	}
+	if !strings.Contains(r.String(), "FAIL: broken thing") {
+		t.Error("failure line missing")
+	}
+}
+
+func TestE1Table(t *testing.T) {
+	rep, err := E1MuddyChildren(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("E1 failed:\n%s", rep)
+	}
+	// Header plus one row per k.
+	if len(rep.Lines) != 6 {
+		t.Errorf("E1 produced %d lines, want 6", len(rep.Lines))
+	}
+}
+
+func TestE3HierarchyReport(t *testing.T) {
+	rep, err := E3Hierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("E3 failed:\n%s", rep)
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" {
+			t.Errorf("experiment %s has no title", e.ID)
+		}
+	}
+}

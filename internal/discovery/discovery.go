@@ -1,0 +1,148 @@
+// Package discovery implements the Section 3 view of communication as
+// climbing the knowledge hierarchy: fact discovery moves a fact from
+// distributed knowledge (D) to explicit knowledge (S, E), and fact
+// publication moves it to common knowledge (C).
+//
+// The running example is the one the paper names — detection of a global
+// deadlock. Two processors each observe one wait-for edge; a deadlock is
+// the conjunction, so initially the system only has distributed knowledge
+// of it. A detection protocol (p0 ships its edge to p1, p1 ships the
+// verdict back) discovers the fact: S at the detector, then E, and — when
+// communication is reliable, so the exchange is deterministic — C. Over an
+// unreliable channel the same protocol still yields S and E in successful
+// runs, but common knowledge is never attained (Theorem 5).
+package discovery
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+// DeadlockProp is the ground fact "the wait-for graph has a cycle", i.e.
+// both edges are present.
+const DeadlockProp = "deadlock"
+
+// detectorProtocols: p0 sends its edge bit at the first instant; p1, upon
+// receiving it, replies with the verdict.
+func detectorProtocols() []protocol.Protocol {
+	p0 := protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+		if len(v.Sent) == 0 {
+			return []protocol.Outgoing{{To: 1, Payload: "edge0=" + v.Init}}
+		}
+		return nil
+	})
+	p1 := protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+		if len(v.Received) > len(v.Sent) {
+			verdict := "no"
+			if v.Init == "1" && v.Received[0].Payload == "edge0=1" {
+				verdict = "yes"
+			}
+			return []protocol.Outgoing{{To: 0, Payload: "verdict=" + verdict}}
+		}
+		return nil
+	})
+	return []protocol.Protocol{p0, p1}
+}
+
+// Build generates the detection system over the given channel: one initial
+// configuration per combination of the two edge bits. With clocks, a
+// reliable exchange is fully deterministic and publication (C) succeeds at
+// the moment the verdict is observed; without clocks no point in time can
+// be commonly identified, so even reliable communication cannot publish
+// the fact — simultaneity, not just delivery, is what common knowledge
+// needs (Section 8).
+func Build(ch protocol.Channel, horizon runs.Time, withClocks bool) (*runs.PointModel, error) {
+	var cfgs []protocol.Config
+	for e0 := 0; e0 <= 1; e0++ {
+		for e1 := 0; e1 <= 1; e1++ {
+			cfg := protocol.Config{
+				Name: fmt.Sprintf("e%d%d", e0, e1),
+				Init: []string{fmt.Sprintf("%d", e0), fmt.Sprintf("%d", e1)},
+			}
+			if withClocks {
+				cfg.Clock = []int{0, 0}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	sys, err := protocol.Generate(detectorProtocols(), ch, cfgs, horizon,
+		protocol.Options{MaxMessagesPerRun: 2})
+	if err != nil {
+		return nil, fmt.Errorf("discovery: %w", err)
+	}
+	interp := runs.Interpretation{
+		DeadlockProp: func(r *runs.Run, _ runs.Time) bool {
+			return r.Init[0] == "1" && r.Init[1] == "1"
+		},
+	}
+	return sys.Model(runs.CompleteHistoryView, interp), nil
+}
+
+// FirstTime returns the first time f holds in the named run, or runs.Lost
+// if it never does within the horizon.
+func FirstTime(pm *runs.PointModel, f logic.Formula, runName string) (runs.Time, error) {
+	set, err := pm.Eval(f)
+	if err != nil {
+		return 0, err
+	}
+	for t := runs.Time(0); t <= pm.Sys.Horizon; t++ {
+		w, err := pm.WorldOf(runName, t)
+		if err != nil {
+			return 0, err
+		}
+		if set.Contains(w) {
+			return t, nil
+		}
+	}
+	return runs.Lost, nil
+}
+
+// Climb records when each level of the hierarchy is first attained for the
+// deadlock fact in a given run.
+type Climb struct {
+	D, S, E, C runs.Time // runs.Lost = never within the horizon
+}
+
+// ClimbIn measures the hierarchy climb for the deadlock fact in the named
+// run.
+func ClimbIn(pm *runs.PointModel, runName string) (Climb, error) {
+	var c Climb
+	phi := logic.P(DeadlockProp)
+	var err error
+	if c.D, err = FirstTime(pm, logic.D(nil, phi), runName); err != nil {
+		return c, err
+	}
+	if c.S, err = FirstTime(pm, logic.S(nil, phi), runName); err != nil {
+		return c, err
+	}
+	if c.E, err = FirstTime(pm, logic.E(nil, phi), runName); err != nil {
+		return c, err
+	}
+	if c.C, err = FirstTime(pm, logic.C(nil, phi), runName); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// DeadlockRunWithDeliveries returns the name of a run with both edges
+// present and exactly d delivered messages.
+func DeadlockRunWithDeliveries(pm *runs.PointModel, d int) (string, error) {
+	for _, r := range pm.Sys.Runs {
+		if r.Init[0] != "1" || r.Init[1] != "1" {
+			continue
+		}
+		got := 0
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				got++
+			}
+		}
+		if got == d {
+			return r.Name, nil
+		}
+	}
+	return "", fmt.Errorf("discovery: no deadlock run with %d deliveries", d)
+}

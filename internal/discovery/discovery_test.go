@@ -1,0 +1,151 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+func TestReliableClimb(t *testing.T) {
+	pm, err := Build(protocol.Reliable{Delay: 1}, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := DeadlockRunWithDeliveries(pm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	climb, err := ClimbIn(pm, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D from the start; S when the detector has both edges (edge sent at
+	// 0, received at 1, observed at 2); E and C when the verdict returns
+	// (sent at 2, received at 3, observed at 4).
+	if climb.D != 0 {
+		t.Errorf("D first at %d, want 0", climb.D)
+	}
+	if climb.S != 2 {
+		t.Errorf("S first at %d, want 2", climb.S)
+	}
+	if climb.E != 4 {
+		t.Errorf("E first at %d, want 4", climb.E)
+	}
+	if climb.C != 4 {
+		t.Errorf("C first at %d, want 4 (reliable exchange is deterministic)", climb.C)
+	}
+	// Strict climbing: each level is attained no earlier than the last.
+	if !(climb.D <= climb.S && climb.S <= climb.E && climb.E <= climb.C) {
+		t.Errorf("climb out of order: %+v", climb)
+	}
+}
+
+func TestClocklessReliableNeverReachesC(t *testing.T) {
+	// Even with guaranteed delivery, clockless processors cannot attain
+	// common knowledge of the deadlock: without clocks no instant is
+	// commonly identifiable, and the detector's pre-verdict points keep
+	// the no-deadlock runs reachable. Simultaneity, not just delivery, is
+	// what publication requires (Section 8).
+	pm, err := Build(protocol.Reliable{Delay: 1}, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := DeadlockRunWithDeliveries(pm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	climb, err := ClimbIn(pm, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if climb.D != 0 || climb.S != 2 || climb.E != 4 {
+		t.Errorf("clockless climb D/S/E = %d/%d/%d, want 0/2/4", climb.D, climb.S, climb.E)
+	}
+	if climb.C != runs.Lost {
+		t.Errorf("C first at %d, want never without clocks", climb.C)
+	}
+}
+
+func TestUnreliableClimbNeverReachesC(t *testing.T) {
+	pm, err := Build(protocol.Unreliable{Delay: 1}, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := DeadlockRunWithDeliveries(pm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	climb, err := ClimbIn(pm, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if climb.D != 0 || climb.S != 2 || climb.E != 4 {
+		t.Errorf("unreliable climb D/S/E = %d/%d/%d, want 0/2/4", climb.D, climb.S, climb.E)
+	}
+	if climb.C != runs.Lost {
+		t.Errorf("C first at %d, want never (Theorem 5)", climb.C)
+	}
+}
+
+func TestNoDeadlockNothingToDiscover(t *testing.T) {
+	pm, err := Build(protocol.Reliable{Delay: 1}, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a run with only one edge, the deadlock fact is false, so no level
+	// of knowledge of it ever holds (knowledge is veridical).
+	set, err := pm.Eval(logic.S(nil, logic.P(DeadlockProp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, r := range pm.Sys.Runs {
+		if r.Init[0] == "1" && r.Init[1] == "1" {
+			continue
+		}
+		for tt := runs.Time(0); tt <= pm.Sys.Horizon; tt++ {
+			if set.Contains(pm.World(ri, tt)) {
+				t.Errorf("S deadlock holds at (%s,%d) without a deadlock", r.Name, tt)
+			}
+		}
+	}
+}
+
+func TestDetectorVerdictIsCorrect(t *testing.T) {
+	pm, err := Build(protocol.Reliable{Delay: 1}, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pm.Sys.Runs {
+		for _, m := range r.Messages {
+			if m.From != 1 {
+				continue
+			}
+			wantYes := r.Init[0] == "1" && r.Init[1] == "1"
+			if wantYes && m.Payload != "verdict=yes" {
+				t.Errorf("run %s: verdict = %q, want yes", r.Name, m.Payload)
+			}
+			if !wantYes && m.Payload != "verdict=no" {
+				t.Errorf("run %s: verdict = %q, want no", r.Name, m.Payload)
+			}
+		}
+	}
+}
+
+func BenchmarkClimb(b *testing.B) {
+	pm, err := Build(protocol.Unreliable{Delay: 1}, 8, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := DeadlockRunWithDeliveries(pm, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ClimbIn(pm, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

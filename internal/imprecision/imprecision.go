@@ -1,0 +1,256 @@
+// Package imprecision implements Appendix B of Halpern & Moses: temporal
+// imprecision and the proof that common knowledge can be neither gained nor
+// lost in practical systems (Theorem 8).
+//
+// A system has temporal imprecision when processors cannot perfectly
+// coordinate their notions of time: one processor's entire history can be
+// shifted slightly in time, producing another legal run, without any other
+// (fixed) processor being able to tell. The discrete analogue used here
+// shifts histories by one tick. The package provides:
+//
+//   - ShiftWitness / CheckImprecision: the discrete form of the Appendix B
+//     definition, checked exhaustively over a finite system.
+//   - CheckLemma14: in a system with temporal imprecision, the initial
+//     point (r, 0) is reachable from every point (r, t) in the
+//     complete-history indistinguishability graph.
+//   - CheckProposition13 / CheckTheorem8: whenever (r, 0) is reachable from
+//     (r, t), common knowledge holds at (r, t) iff it holds at (r, 0) —
+//     so nothing ever becomes (or ceases to be) common knowledge.
+//   - UncertainSystem: the Proposition 15 construction — bounded but
+//     uncertain message delivery plus uncertain start times — realized as a
+//     concrete finite system exhibiting temporal imprecision.
+package imprecision
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// Direction of a history shift.
+type Direction int
+
+// Shift directions: Later means processor i's history in the witness run
+// lags one tick behind (everything happens one tick later there); Earlier
+// is the converse.
+const (
+	Later Direction = iota + 1
+	Earlier
+)
+
+// ShiftWitness looks for a run r' witnessing one-tick temporal imprecision
+// for the pair (shifted processor i, fixed processor j) at time t of run r:
+//
+//	Later:   h(p_i, r, t') = h(p_i, r', t'+1) for all t' <= min(t, H-1),
+//	Earlier: h(p_i, r, t'+1) = h(p_i, r', t') for all t' <= min(t, H-1),
+//
+// and in both cases h(p_j, r, t') = h(p_j, r', t') for all t' <= t.
+// It returns the witness run, or nil if none exists in the system.
+func ShiftWitness(sys *runs.System, r *runs.Run, i, j int, t runs.Time, dir Direction) *runs.Run {
+	limit := t
+	if limit > sys.Horizon-1 {
+		limit = sys.Horizon - 1
+	}
+	for _, rp := range sys.Runs {
+		ok := true
+		for tp := runs.Time(0); tp <= limit && ok; tp++ {
+			switch dir {
+			case Later:
+				ok = r.History(i, tp) == rp.History(i, tp+1)
+			case Earlier:
+				ok = r.History(i, tp+1) == rp.History(i, tp)
+			}
+		}
+		if !ok {
+			continue
+		}
+		for tp := runs.Time(0); tp <= t && ok; tp++ {
+			ok = r.History(j, tp) == rp.History(j, tp)
+		}
+		if ok {
+			return rp
+		}
+	}
+	return nil
+}
+
+// Report summarizes an exhaustive imprecision check.
+type Report struct {
+	// PointsChecked counts (run, time, i, j) tuples examined.
+	PointsChecked int
+	// Witnessed counts tuples with a shift witness in some direction.
+	Witnessed int
+	// Missing lists tuples without a witness (boundary artifacts of finite
+	// enumeration, or genuine precision in the system).
+	Missing []string
+}
+
+// Full reports whether every tuple had a witness.
+func (rep Report) Full() bool { return len(rep.Missing) == 0 }
+
+// CheckImprecision exhaustively checks the discrete temporal-imprecision
+// condition over the system: for every run r, time t and ordered processor
+// pair i != j, some run shifts p_i's history by one tick in some direction
+// while fixing p_j's.
+func CheckImprecision(sys *runs.System) Report {
+	var rep Report
+	for _, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			for i := 0; i < sys.N; i++ {
+				for j := 0; j < sys.N; j++ {
+					if i == j {
+						continue
+					}
+					rep.PointsChecked++
+					if ShiftWitness(sys, r, i, j, t, Later) != nil ||
+						ShiftWitness(sys, r, i, j, t, Earlier) != nil {
+						rep.Witnessed++
+					} else {
+						rep.Missing = append(rep.Missing,
+							fmt.Sprintf("(%s, t=%d, shift p%d fixing p%d)", r.Name, t, i, j))
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// CheckLemma14 verifies the conclusion of Lemma 14 on a point model: for
+// every run r and time t, the initial point (r, 0) is reachable from (r, t)
+// in the complete-history graph (with respect to the full processor group).
+func CheckLemma14(pm *runs.PointModel) error {
+	ids, err := pm.GReachIDs(nil)
+	if err != nil {
+		return err
+	}
+	for ri, r := range pm.Sys.Runs {
+		for t := runs.Time(0); t <= pm.Sys.Horizon; t++ {
+			if ids[pm.World(ri, t)] != ids[pm.World(ri, 0)] {
+				return fmt.Errorf("imprecision: (%s, 0) not reachable from (%s, %d)", r.Name, r.Name, t)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckProposition13 verifies Proposition 13: whenever (r, 0) is reachable
+// from (r, t), C_G φ holds at (r, t) iff it holds at (r, 0), for each φ in
+// the family.
+func CheckProposition13(pm *runs.PointModel, g logic.Group, formulas []logic.Formula) error {
+	ids, err := pm.GReachIDs(g)
+	if err != nil {
+		return err
+	}
+	for _, phi := range formulas {
+		set, err := pm.Eval(logic.C(g, phi))
+		if err != nil {
+			return err
+		}
+		for ri, r := range pm.Sys.Runs {
+			for t := runs.Time(0); t <= pm.Sys.Horizon; t++ {
+				w0, wt := pm.World(ri, 0), pm.World(ri, t)
+				if ids[w0] != ids[wt] {
+					continue // Lemma 14 premise unavailable at this point
+				}
+				if set.Contains(wt) != set.Contains(w0) {
+					return fmt.Errorf("imprecision: Proposition 13 violated for %s at (%s, %d)", phi, r.Name, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTheorem8 verifies Theorem 8 on a point model of a system with
+// temporal imprecision: for every formula in the family, every run r and
+// every time t, C_G φ holds at (r, t) iff it holds at (r, 0) — common
+// knowledge is neither gained nor lost.
+func CheckTheorem8(pm *runs.PointModel, g logic.Group, formulas []logic.Formula) error {
+	for _, phi := range formulas {
+		set, err := pm.Eval(logic.C(g, phi))
+		if err != nil {
+			return err
+		}
+		for ri, r := range pm.Sys.Runs {
+			at0 := set.Contains(pm.World(ri, 0))
+			for t := runs.Time(1); t <= pm.Sys.Horizon; t++ {
+				if set.Contains(pm.World(ri, t)) != at0 {
+					return fmt.Errorf("imprecision: Theorem 8 violated for %s at (%s, %d)", phi, r.Name, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// UncertainConfig parameterizes the Proposition 15 construction.
+type UncertainConfig struct {
+	// MaxWake is the latest possible wake-up time W; each processor wakes
+	// at some time in [0, W] (uncertain start times).
+	MaxWake runs.Time
+	// MinDelay and MaxDelay bound message delivery (bounded but uncertain
+	// delivery times); MinDelay < MaxDelay is required for imprecision.
+	MinDelay, MaxDelay runs.Time
+	// Horizon of the generated runs. It must leave room for the latest
+	// possible delivery: MaxWake + 1 + MaxDelay <= Horizon.
+	Horizon runs.Time
+}
+
+// UncertainSystem builds the Proposition 15 system: two processors with
+// uncertain start times and wake-relative clocks; processor 0 sends a
+// message one tick after waking; delivery takes an uncertain bounded time.
+// Every combination of wake times and delivery delay is a run.
+func UncertainSystem(cfg UncertainConfig) (*runs.System, error) {
+	if cfg.MinDelay >= cfg.MaxDelay {
+		return nil, fmt.Errorf("imprecision: need MinDelay < MaxDelay for uncertain delivery")
+	}
+	if cfg.MaxWake < 1 {
+		return nil, fmt.Errorf("imprecision: need MaxWake >= 1 for uncertain start times")
+	}
+	if cfg.MaxWake+1+cfg.MaxDelay > cfg.Horizon {
+		return nil, fmt.Errorf("imprecision: horizon %d too small", cfg.Horizon)
+	}
+	var rs []*runs.Run
+	for w0 := runs.Time(0); w0 <= cfg.MaxWake; w0++ {
+		for w1 := runs.Time(0); w1 <= cfg.MaxWake; w1++ {
+			for d := cfg.MinDelay; d <= cfg.MaxDelay; d++ {
+				r := runs.NewRun(fmt.Sprintf("w%d_%d_d%d", w0, w1, d), 2, cfg.Horizon)
+				r.Wake[0], r.Wake[1] = w0, w1
+				setWakeClock(r, 0, w0)
+				setWakeClock(r, 1, w1)
+				send := w0 + 1
+				r.Send(0, 1, send, send+d, "m")
+				rs = append(rs, r)
+			}
+		}
+	}
+	return runs.NewSystem(rs...)
+}
+
+// setWakeClock gives processor p a clock reading t - wake (elapsed local
+// time), the natural clock of a processor that does not know real time.
+func setWakeClock(r *runs.Run, p int, wake runs.Time) {
+	readings := make([]int, r.Horizon+1)
+	for t := range readings {
+		if runs.Time(t) >= wake {
+			readings[t] = t - int(wake)
+		}
+	}
+	// Clock values before the wake time are unused (ClockReading reports
+	// them undefined) but must keep the slice monotone from the wake time,
+	// which zero-filling satisfies.
+	_ = r.SetClock(p, readings)
+}
+
+// DeliveredProp is the ground fact "the message has been delivered".
+const DeliveredProp = "delivered"
+
+// Interp returns the standard interpretation for Proposition 15 systems.
+func Interp() runs.Interpretation {
+	return runs.Interpretation{
+		DeliveredProp: runs.StablyTrue(runs.ReceivedBy("m")),
+		"sent":        runs.StablyTrue(runs.SentBy("m")),
+	}
+}

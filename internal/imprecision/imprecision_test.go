@@ -1,0 +1,224 @@
+package imprecision
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+func uncertain(t *testing.T) (*runs.System, *runs.PointModel) {
+	t.Helper()
+	sys, err := UncertainSystem(UncertainConfig{
+		MaxWake: 2, MinDelay: 1, MaxDelay: 2, Horizon: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sys.Model(runs.CompleteHistoryView, Interp())
+}
+
+func TestUncertainSystemShape(t *testing.T) {
+	sys, _ := uncertain(t)
+	// 3 wake choices for each processor x 2 delays.
+	if len(sys.Runs) != 18 {
+		t.Fatalf("system has %d runs, want 18", len(sys.Runs))
+	}
+	for _, r := range sys.Runs {
+		if len(r.Messages) != 1 || !r.Messages[0].Delivered() {
+			t.Errorf("run %s malformed: %+v", r.Name, r.Messages)
+		}
+	}
+}
+
+func TestWakeRelativeClocks(t *testing.T) {
+	sys, _ := uncertain(t)
+	r, ok := sys.RunByName("w2_1_d1")
+	if !ok {
+		t.Fatal("run not found")
+	}
+	if _, defined := r.ClockReading(0, 1); defined {
+		t.Error("clock should be undefined before wake")
+	}
+	if c, defined := r.ClockReading(0, 2); !defined || c != 0 {
+		t.Errorf("clock at wake = %d (%v), want 0", c, defined)
+	}
+	if c, _ := r.ClockReading(0, 5); c != 3 {
+		t.Errorf("clock at t=5 = %d, want 3", c)
+	}
+}
+
+func TestShiftWitnessExists(t *testing.T) {
+	sys, _ := uncertain(t)
+	// Shifting p0 one tick later in run (w0=0, w1=0, d=2) while fixing p1
+	// is witnessed by (w0=1, w1=0, d=1): the send happens a tick later but
+	// arrives at the same absolute time.
+	r, _ := sys.RunByName("w0_0_d2")
+	w := ShiftWitness(sys, r, 0, 1, sys.Horizon-1, Later)
+	if w == nil {
+		t.Fatal("no Later witness for (w0_0_d2, shift p0)")
+	}
+	if w.Name != "w1_0_d1" {
+		t.Errorf("witness = %s, want w1_0_d1", w.Name)
+	}
+	// For d=1 the Later shift is impossible (delay cannot shrink), but the
+	// Earlier one works.
+	r, _ = sys.RunByName("w1_0_d1")
+	if ShiftWitness(sys, r, 0, 1, sys.Horizon-1, Earlier) == nil {
+		t.Error("no Earlier witness for (w1_0_d1, shift p0)")
+	}
+}
+
+func TestImprecisionReport(t *testing.T) {
+	sys, _ := uncertain(t)
+	rep := CheckImprecision(sys)
+	if rep.PointsChecked == 0 {
+		t.Fatal("nothing checked")
+	}
+	// The interior of the system is fully imprecise. The paper takes
+	// delivery times from OPEN intervals (L, H), so a shifted run always
+	// exists; with discrete time the extremal (wake, delay) corners (e.g.
+	// wake 0 with minimal delay) have no single-step witness. Those corner
+	// tuples must be a small minority, and — as Lemma 14 / Theorem 8 below
+	// confirm — reachability still flows around them through longer
+	// chains.
+	if frac := float64(rep.Witnessed) / float64(rep.PointsChecked); frac < 0.8 {
+		t.Errorf("only %.0f%% of tuples witnessed; missing: %v", 100*frac, rep.Missing)
+	}
+	for _, miss := range rep.Missing {
+		// Every missing tuple involves an extremal wake or delay.
+		if !strings.Contains(miss, "w0_") && !strings.Contains(miss, "w2_") &&
+			!strings.Contains(miss, "_0_") && !strings.Contains(miss, "_2_") &&
+			!strings.Contains(miss, "d1") && !strings.Contains(miss, "d2") {
+			t.Errorf("non-extremal tuple missing a witness: %s", miss)
+		}
+	}
+}
+
+func TestLemma14InitialPointReachable(t *testing.T) {
+	_, pm := uncertain(t)
+	if err := CheckLemma14(pm); err != nil {
+		t.Error(err)
+	}
+}
+
+var formulaFamily = []logic.Formula{
+	logic.P(DeliveredProp),
+	logic.P("sent"),
+	logic.Neg(logic.P(DeliveredProp)),
+	logic.K(0, logic.P("sent")),
+	logic.True,
+}
+
+func TestProposition13(t *testing.T) {
+	_, pm := uncertain(t)
+	if err := CheckProposition13(pm, nil, formulaFamily); err != nil {
+		t.Error(err)
+	}
+	if err := CheckProposition13(pm, logic.NewGroup(0, 1), formulaFamily); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem8CommonKnowledgeFrozen(t *testing.T) {
+	_, pm := uncertain(t)
+	if err := CheckTheorem8(pm, nil, formulaFamily); err != nil {
+		t.Error(err)
+	}
+	// In particular, nothing contingent ever becomes common knowledge:
+	// C delivered and C sent are empty, C true is full.
+	for _, tc := range []struct {
+		src  string
+		full bool
+	}{
+		{"C delivered", false},
+		{"C sent", false},
+		{"C true", true},
+	} {
+		set, err := pm.Eval(logic.MustParse(tc.src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.full && !set.IsFull() {
+			t.Errorf("%s should hold everywhere", tc.src)
+		}
+		if !tc.full && !set.IsEmpty() {
+			t.Errorf("%s should hold nowhere, holds at %s", tc.src, set)
+		}
+	}
+	// Yet ordinary knowledge IS gained: p1 knows "sent" after delivery.
+	k, err := pm.Eval(logic.MustParse("K1 sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.IsEmpty() {
+		t.Error("K1 sent should hold at some points (knowledge is gained, common knowledge is not)")
+	}
+}
+
+func TestTheorem8FailsWithGlobalClock(t *testing.T) {
+	// The paper: a global clock removes temporal imprecision, and facts
+	// like "it is 5 o'clock" do become common knowledge. Build the same
+	// message pattern but with identity (global) clocks and check that the
+	// Theorem 8 conclusion now fails for a clock fact.
+	mk := func(d runs.Time, name string) *runs.Run {
+		r := runs.NewRun(name, 2, 6)
+		r.SetIdentityClock(0)
+		r.SetIdentityClock(1)
+		r.Send(0, 1, 1, 1+d, "m")
+		return r
+	}
+	sys := runs.MustSystem(mk(1, "d1"), mk(2, "d2"))
+	pm := sys.Model(runs.CompleteHistoryView, runs.Interpretation{
+		"five": func(_ *runs.Run, t runs.Time) bool { return t == 5 },
+	})
+	set, err := pm.Eval(logic.MustParse("C five"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := pm.WorldOf("d1", 5)
+	if !set.Contains(w) {
+		t.Error("with a global clock, 'it is 5 o'clock' should be common knowledge at 5")
+	}
+	if err := CheckTheorem8(pm, nil, []logic.Formula{logic.P("five")}); err == nil {
+		t.Error("Theorem 8 conclusion should fail in a system with a global clock")
+	}
+}
+
+func TestUncertainSystemValidation(t *testing.T) {
+	if _, err := UncertainSystem(UncertainConfig{MaxWake: 1, MinDelay: 2, MaxDelay: 2, Horizon: 9}); err == nil {
+		t.Error("MinDelay == MaxDelay accepted")
+	}
+	if _, err := UncertainSystem(UncertainConfig{MaxWake: 0, MinDelay: 1, MaxDelay: 2, Horizon: 9}); err == nil {
+		t.Error("MaxWake == 0 accepted")
+	}
+	if _, err := UncertainSystem(UncertainConfig{MaxWake: 3, MinDelay: 1, MaxDelay: 2, Horizon: 4}); err == nil {
+		t.Error("tiny horizon accepted")
+	}
+}
+
+func BenchmarkTheorem8(b *testing.B) {
+	sys, err := UncertainSystem(UncertainConfig{MaxWake: 2, MinDelay: 1, MaxDelay: 2, Horizon: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := sys.Model(runs.CompleteHistoryView, Interp())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CheckTheorem8(pm, nil, formulaFamily); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImprecisionCheck(b *testing.B) {
+	sys, err := UncertainSystem(UncertainConfig{MaxWake: 2, MinDelay: 1, MaxDelay: 2, Horizon: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CheckImprecision(sys)
+	}
+}

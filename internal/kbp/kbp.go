@@ -1,0 +1,271 @@
+// Package kbp implements knowledge-based protocols (Section 14, after
+// Halpern & Fagin): protocols whose actions are guarded by knowledge tests
+// — "if K_i φ then send m" — where the knowledge is evaluated in the very
+// system the protocol generates. A system is consistent with a
+// knowledge-based program when running the program with knowledge evaluated
+// over that system regenerates exactly that system.
+//
+// The package computes such fixed points by iteration: starting from the
+// null system (nobody acts), each round evaluates every guard over the
+// previous round's system, turns the program into a standard protocol
+// (guards become view-indexed truth tables), regenerates the system, and
+// stops when the truth tables stabilize. Programs need not have a fixed
+// point (a guard like "send iff you have not sent" oscillates); iteration
+// is capped and non-convergence reported.
+//
+// The running example is the bit-transmission problem: a sender repeats its
+// bit until it knows the receiver knows the bit; the receiver acknowledges
+// once it knows it.
+package kbp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+// Rule is one guarded action of a knowledge-based program.
+type Rule struct {
+	// Name identifies the rule in diagnostics.
+	Name string
+	// When guards the action. It must be determined by the acting
+	// processor's view (e.g. a Boolean combination of K_p-formulas and
+	// facts about p's own state); Fixpoint verifies this and fails
+	// otherwise.
+	When logic.Formula
+	// To is the destination processor.
+	To int
+	// Payload builds the message from the current view (e.g. "bit=" +
+	// v.Init).
+	Payload func(v protocol.LocalView) string
+	// MaxSends caps how many messages with this rule's payload the
+	// processor sends per run (0 = unlimited). The cap keeps generated
+	// systems finite for "repeat until known" rules.
+	MaxSends int
+}
+
+// Program is a knowledge-based program: rules per processor plus the
+// ground-fact interpretation its guards refer to.
+type Program struct {
+	Rules  map[int][]Rule
+	Interp runs.Interpretation
+}
+
+// keyOf canonically serializes a local view. It is the join point between
+// guard-truth extraction (from system points) and protocol execution (from
+// generator views); both sides use protocol.LocalView.
+func keyOf(v protocol.LocalView) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "me=%d;init=%s;", v.Me, v.Init)
+	if v.HasClock {
+		fmt.Fprintf(&b, "clock=%d;", v.Clock)
+	}
+	for _, s := range v.Sent {
+		fmt.Fprintf(&b, "s%d/%s", s.To, s.Payload)
+		if s.HasClock {
+			fmt.Fprintf(&b, "@%d", s.Clock)
+		}
+		b.WriteByte(';')
+	}
+	for _, r := range v.Received {
+		fmt.Fprintf(&b, "r%d/%s", r.From, r.Payload)
+		if r.HasClock {
+			fmt.Fprintf(&b, "@%d", r.Clock)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// truthTables holds, for each processor and rule index, the set of view
+// keys at which the guard is true.
+type truthTables map[int][]map[string]bool
+
+func (t truthTables) equal(o truthTables) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for p, rules := range t {
+		op, ok := o[p]
+		if !ok || len(rules) != len(op) {
+			return false
+		}
+		for i := range rules {
+			if len(rules[i]) != len(op[i]) {
+				return false
+			}
+			for k, v := range rules[i] {
+				if op[i][k] != v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// asProtocols compiles the program under fixed truth tables into standard
+// protocols.
+func (prog Program) asProtocols(n int, truth truthTables) []protocol.Protocol {
+	out := make([]protocol.Protocol, n)
+	for p := 0; p < n; p++ {
+		p := p
+		rules := prog.Rules[p]
+		out[p] = protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+			var msgs []protocol.Outgoing
+			key := keyOf(v)
+			for i, rule := range rules {
+				if !truth[p][i][key] {
+					continue
+				}
+				payload := rule.Payload(v)
+				if rule.MaxSends > 0 {
+					sent := 0
+					for _, s := range v.Sent {
+						if s.Payload == payload && s.To == rule.To {
+							sent++
+						}
+					}
+					if sent >= rule.MaxSends {
+						continue
+					}
+				}
+				msgs = append(msgs, protocol.Outgoing{To: rule.To, Payload: payload})
+			}
+			return msgs
+		})
+	}
+	return out
+}
+
+// extractTruth evaluates every guard over the system and indexes the
+// results by view key, verifying view-determinacy.
+func (prog Program) extractTruth(pm *runs.PointModel, n int) (truthTables, error) {
+	truth := make(truthTables, n)
+	sys := pm.Sys
+	for p := 0; p < n; p++ {
+		truth[p] = make([]map[string]bool, len(prog.Rules[p]))
+		for i, rule := range prog.Rules[p] {
+			set, err := pm.Eval(rule.When)
+			if err != nil {
+				return nil, fmt.Errorf("kbp: rule %s: %w", rule.Name, err)
+			}
+			table := make(map[string]bool)
+			for ri, r := range sys.Runs {
+				for t := runs.Time(0); t <= sys.Horizon; t++ {
+					key := keyOf(protocol.ViewAt(r, p, t))
+					holds := set.Contains(pm.World(ri, t))
+					if prev, seen := table[key]; seen {
+						if prev != holds {
+							return nil, fmt.Errorf(
+								"kbp: guard of rule %s is not determined by p%d's view (differs at (%s,%d))",
+								rule.Name, p, r.Name, t)
+						}
+					} else {
+						table[key] = holds
+					}
+				}
+			}
+			truth[p][i] = table
+		}
+	}
+	return truth, nil
+}
+
+// Result is the outcome of a fixed-point computation.
+type Result struct {
+	// PM is the point model of the fixed-point system.
+	PM *runs.PointModel
+	// Iterations is the number of generate/evaluate rounds performed.
+	Iterations int
+}
+
+// Fixpoint computes a system consistent with the program by iteration from
+// the null system, over the given channel, configurations and horizon. It
+// fails if the iteration has not stabilized after maxIter rounds.
+func Fixpoint(prog Program, ch protocol.Channel, cfgs []protocol.Config, horizon runs.Time,
+	opts protocol.Options, maxIter int) (Result, error) {
+	n := 0
+	for p := range prog.Rules {
+		if p+1 > n {
+			n = p + 1
+		}
+	}
+	for _, cfg := range cfgs {
+		if len(cfg.Init) > n {
+			n = len(cfg.Init)
+		}
+	}
+	if n == 0 {
+		return Result{}, fmt.Errorf("kbp: empty program")
+	}
+
+	truth := make(truthTables, n)
+	for p := 0; p < n; p++ {
+		truth[p] = make([]map[string]bool, len(prog.Rules[p]))
+		for i := range truth[p] {
+			truth[p][i] = map[string]bool{}
+		}
+	}
+
+	var pm *runs.PointModel
+	for iter := 1; iter <= maxIter; iter++ {
+		sys, err := protocol.Generate(prog.asProtocols(n, truth), ch, cfgs, horizon, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("kbp: iteration %d: %w", iter, err)
+		}
+		pm = sys.Model(runs.CompleteHistoryView, prog.Interp)
+		next, err := prog.extractTruth(pm, n)
+		if err != nil {
+			return Result{}, err
+		}
+		if next.equal(truth) {
+			return Result{PM: pm, Iterations: iter}, nil
+		}
+		truth = next
+	}
+	return Result{}, fmt.Errorf("kbp: no fixed point after %d iterations (the program may have none)", maxIter)
+}
+
+// BitTransmission returns the classic knowledge-based program: the sender
+// (p0) repeats its bit until it knows the receiver knows the bit; the
+// receiver (p1) acknowledges while it knows the bit. bits lists the
+// possible sender inputs.
+func BitTransmission(bits []string, maxSends int) (Program, []protocol.Config) {
+	recvKnows := logic.Formula(logic.Disj(
+		logic.K(1, logic.P("bit0")),
+		logic.K(1, logic.P("bit1")),
+	))
+	prog := Program{
+		Rules: map[int][]Rule{
+			0: {{
+				Name: "send-bit",
+				When: logic.Neg(logic.K(0, recvKnows)),
+				To:   1,
+				Payload: func(v protocol.LocalView) string {
+					return "bit=" + v.Init
+				},
+				MaxSends: maxSends,
+			}},
+			1: {{
+				Name:     "send-ack",
+				When:     recvKnows,
+				To:       0,
+				Payload:  func(protocol.LocalView) string { return "ack" },
+				MaxSends: maxSends,
+			}},
+		},
+		Interp: runs.Interpretation{
+			"bit0": func(r *runs.Run, _ runs.Time) bool { return r.Init[0] == "0" },
+			"bit1": func(r *runs.Run, _ runs.Time) bool { return r.Init[0] == "1" },
+		},
+	}
+	var cfgs []protocol.Config
+	for _, b := range bits {
+		cfgs = append(cfgs, protocol.Config{Name: "bit" + b, Init: []string{b, ""}})
+	}
+	return prog, cfgs
+}

@@ -1,0 +1,187 @@
+package kbp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+func bitTransmissionFixpoint(t *testing.T, ch protocol.Channel) Result {
+	t.Helper()
+	prog, cfgs := BitTransmission([]string{"0", "1"}, 2)
+	res, err := Fixpoint(prog, ch, cfgs, 8, protocol.Options{MaxMessagesPerRun: 6}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBitTransmissionReliable(t *testing.T) {
+	res := bitTransmissionFixpoint(t, protocol.Reliable{Delay: 1})
+	if res.Iterations < 2 {
+		t.Errorf("fixed point after %d iterations; expected the program to need warm-up", res.Iterations)
+	}
+	sys := res.PM.Sys
+	for _, r := range sys.Runs {
+		var bitSends, acks int
+		for _, m := range r.Messages {
+			switch {
+			case strings.HasPrefix(m.Payload, "bit="):
+				bitSends++
+				if m.Payload != "bit="+r.Init[0] {
+					t.Errorf("run %s: sender transmitted %q", r.Name, m.Payload)
+				}
+			case m.Payload == "ack":
+				acks++
+			}
+		}
+		if bitSends == 0 {
+			t.Errorf("run %s: sender never sent its bit", r.Name)
+		}
+		if acks == 0 {
+			t.Errorf("run %s: receiver never acknowledged", r.Name)
+		}
+	}
+}
+
+func TestBitTransmissionKnowledgeAtFixpoint(t *testing.T) {
+	res := bitTransmissionFixpoint(t, protocol.Reliable{Delay: 1})
+	pm := res.PM
+	// At the fixed point the program's epistemic goals hold: by the end of
+	// each run the receiver knows the bit, and the sender knows it knows.
+	recvKnows := logic.Disj(logic.K(1, logic.P("bit0")), logic.K(1, logic.P("bit1")))
+	senderKnows := logic.K(0, recvKnows)
+	for _, f := range []logic.Formula{recvKnows, senderKnows} {
+		set, err := pm.Eval(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, r := range pm.Sys.Runs {
+			if !set.Contains(pm.World(ri, pm.Sys.Horizon)) {
+				t.Errorf("%s fails at the end of run %s", f, r.Name)
+			}
+		}
+	}
+	// And the sender stops sending once it knows: no bit message is sent
+	// at or after the time the ack enters its history.
+	for _, r := range pm.Sys.Runs {
+		ackSeen := runs.Lost
+		for _, m := range r.Messages {
+			if m.Payload == "ack" && m.Delivered() && (ackSeen == runs.Lost || m.RecvTime+1 < ackSeen) {
+				ackSeen = m.RecvTime + 1
+			}
+		}
+		if ackSeen == runs.Lost {
+			continue
+		}
+		for _, m := range r.Messages {
+			if strings.HasPrefix(m.Payload, "bit=") && m.SendTime > ackSeen {
+				t.Errorf("run %s: sender sent the bit at %d after learning at %d", r.Name, m.SendTime, ackSeen)
+			}
+		}
+	}
+}
+
+func TestBitTransmissionUnreliable(t *testing.T) {
+	// Over an unreliable channel the fixed point still exists; in runs
+	// where everything is lost, the sender exhausts its budget and the
+	// receiver stays silent.
+	res := bitTransmissionFixpoint(t, protocol.Unreliable{Delay: 1})
+	sys := res.PM.Sys
+	foundAllLost := false
+	for _, r := range sys.Runs {
+		delivered := 0
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				delivered++
+			}
+		}
+		if delivered == 0 {
+			foundAllLost = true
+			for _, m := range r.Messages {
+				if m.Payload == "ack" {
+					t.Errorf("run %s: ack without receiving the bit", r.Name)
+				}
+			}
+		}
+	}
+	if !foundAllLost {
+		t.Error("expected an all-lost run in the unreliable fixed point")
+	}
+}
+
+func TestParadoxicalProgramHasNoFixpoint(t *testing.T) {
+	// "Send iff you have not sent": the iteration oscillates and must be
+	// reported as having no fixed point.
+	prog := Program{
+		Rules: map[int][]Rule{
+			0: {{
+				Name:     "paradox",
+				When:     logic.Neg(logic.P("sent0")),
+				To:       1,
+				Payload:  func(protocol.LocalView) string { return "x" },
+				MaxSends: 1,
+			}},
+		},
+		Interp: runs.Interpretation{
+			"sent0": runs.StablyTrue(runs.SentBy("x")),
+		},
+	}
+	cfgs := []protocol.Config{{Name: "c", Init: []string{"", ""}}}
+	_, err := Fixpoint(prog, protocol.Reliable{Delay: 1}, cfgs, 4, protocol.Options{}, 6)
+	if err == nil {
+		t.Fatal("the paradoxical program should have no fixed point")
+	}
+	if !strings.Contains(err.Error(), "no fixed point") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestEmptyProgramRejected(t *testing.T) {
+	if _, err := Fixpoint(Program{}, protocol.Reliable{Delay: 1}, nil, 4, protocol.Options{}, 3); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestGuardMustBeViewDetermined(t *testing.T) {
+	// A guard about the OTHER processor's unknown state is not determined
+	// by the acting processor's view and must be rejected.
+	prog := Program{
+		Rules: map[int][]Rule{
+			0: {{
+				Name:    "cheat",
+				When:    logic.P("bit1set"), // p1's private state, invisible to p0
+				To:      1,
+				Payload: func(protocol.LocalView) string { return "x" },
+			}},
+		},
+		Interp: runs.Interpretation{
+			"bit1set": func(r *runs.Run, _ runs.Time) bool { return r.Init[1] == "1" },
+		},
+	}
+	cfgs := []protocol.Config{
+		{Name: "a", Init: []string{"", "0"}},
+		{Name: "b", Init: []string{"", "1"}},
+	}
+	_, err := Fixpoint(prog, protocol.Reliable{Delay: 1}, cfgs, 4, protocol.Options{}, 5)
+	if err == nil {
+		t.Fatal("view-undetermined guard accepted")
+	}
+	if !strings.Contains(err.Error(), "not determined") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func BenchmarkBitTransmissionFixpoint(b *testing.B) {
+	prog, cfgs := BitTransmission([]string{"0", "1"}, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fixpoint(prog, protocol.Reliable{Delay: 1}, cfgs, 8,
+			protocol.Options{MaxMessagesPerRun: 6}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package kripke
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// This file machine-checks Proposition 1 of the paper: under view-based
+// knowledge interpretations the operators K_i, D_G and C_G all have the
+// properties of S5, and C_G additionally satisfies the fixed point axiom C1
+// and the induction rule C2. The checks are semantic: given a model and a
+// family of sample formulas, each axiom scheme is instantiated and verified
+// valid in the model.
+
+// Op builds a modal formula from its argument; it abstracts over K_i, D_G,
+// C_G and friends so one checker covers them all.
+type Op func(logic.Formula) logic.Formula
+
+// S5Report records which S5 properties held for an operator on a model.
+type S5Report struct {
+	KnowledgeAxiom        bool // A1: Mφ ⊃ φ
+	ConsequenceClosure    bool // A2: Mφ ∧ M(φ ⊃ ψ) ⊃ Mψ
+	PositiveIntrospection bool // A3: Mφ ⊃ MMφ
+	NegativeIntrospection bool // A4: ¬Mφ ⊃ M¬Mφ
+	Necessitation         bool // R1: φ valid ⇒ Mφ valid
+	Failure               string
+}
+
+// AllHold reports whether every checked property held.
+func (r S5Report) AllHold() bool {
+	return r.KnowledgeAxiom && r.ConsequenceClosure &&
+		r.PositiveIntrospection && r.NegativeIntrospection && r.Necessitation
+}
+
+// CheckS5 verifies the S5 axioms A1–A4 and the necessitation rule R1 for
+// the operator op on model m, instantiating the schemes with every pair of
+// sample formulas. It stops at the first failure, recording it in Failure.
+func CheckS5(m *Model, op Op, samples []logic.Formula) (S5Report, error) {
+	r := S5Report{
+		KnowledgeAxiom:        true,
+		ConsequenceClosure:    true,
+		PositiveIntrospection: true,
+		NegativeIntrospection: true,
+		Necessitation:         true,
+	}
+	for _, phi := range samples {
+		// A1
+		ok, err := m.Valid(logic.Imp(op(phi), phi))
+		if err != nil {
+			return r, err
+		}
+		if !ok {
+			r.KnowledgeAxiom = false
+			r.Failure = fmt.Sprintf("A1 fails for φ = %s", phi)
+			return r, nil
+		}
+		// A3
+		ok, err = m.Valid(logic.Imp(op(phi), op(op(phi))))
+		if err != nil {
+			return r, err
+		}
+		if !ok {
+			r.PositiveIntrospection = false
+			r.Failure = fmt.Sprintf("A3 fails for φ = %s", phi)
+			return r, nil
+		}
+		// A4
+		ok, err = m.Valid(logic.Imp(logic.Neg(op(phi)), op(logic.Neg(op(phi)))))
+		if err != nil {
+			return r, err
+		}
+		if !ok {
+			r.NegativeIntrospection = false
+			r.Failure = fmt.Sprintf("A4 fails for φ = %s", phi)
+			return r, nil
+		}
+		// R1
+		valid, err := m.Valid(phi)
+		if err != nil {
+			return r, err
+		}
+		if valid {
+			ok, err = m.Valid(op(phi))
+			if err != nil {
+				return r, err
+			}
+			if !ok {
+				r.Necessitation = false
+				r.Failure = fmt.Sprintf("R1 fails for φ = %s", phi)
+				return r, nil
+			}
+		}
+		// A2, over all sample consequents
+		for _, psi := range samples {
+			a2 := logic.Imp(
+				logic.Conj(op(phi), op(logic.Imp(phi, psi))),
+				op(psi),
+			)
+			ok, err = m.Valid(a2)
+			if err != nil {
+				return r, err
+			}
+			if !ok {
+				r.ConsequenceClosure = false
+				r.Failure = fmt.Sprintf("A2 fails for φ = %s, ψ = %s", phi, psi)
+				return r, nil
+			}
+		}
+	}
+	return r, nil
+}
+
+// CheckFixedPointAxiom verifies C1 for group g on model m with the given
+// sample formulas: C_G φ ≡ E_G(φ ∧ C_G φ).
+func CheckFixedPointAxiom(m *Model, g logic.Group, samples []logic.Formula) error {
+	for _, phi := range samples {
+		c1 := logic.Equiv(
+			logic.C(g, phi),
+			logic.E(g, logic.Conj(phi, logic.C(g, phi))),
+		)
+		ok, err := m.Valid(c1)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("kripke: C1 fails for φ = %s", phi)
+		}
+	}
+	return nil
+}
+
+// CheckInductionRule verifies C2 for group g on model m: for every sample
+// pair (φ, ψ), if φ ⊃ E_G(φ ∧ ψ) is valid then φ ⊃ C_G ψ is valid.
+func CheckInductionRule(m *Model, g logic.Group, samples []logic.Formula) error {
+	for _, phi := range samples {
+		for _, psi := range samples {
+			prem, err := m.Valid(logic.Imp(phi, logic.E(g, logic.Conj(phi, psi))))
+			if err != nil {
+				return err
+			}
+			if !prem {
+				continue
+			}
+			conc, err := m.Valid(logic.Imp(phi, logic.C(g, psi)))
+			if err != nil {
+				return err
+			}
+			if !conc {
+				return fmt.Errorf("kripke: C2 fails for φ = %s, ψ = %s", phi, psi)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLemma2 verifies Lemma 2 of the paper on model m: for every sample φ,
+// nonempty group g and agent i ∈ g, the three conditions
+//
+//	(1) C_G φ,  (2) K_i(φ ∧ C_G φ) for all i ∈ G,  (3) K_i(φ ∧ C_G φ) for some i ∈ G
+//
+// hold at exactly the same worlds.
+func CheckLemma2(m *Model, g logic.Group, samples []logic.Formula) error {
+	agents, err := m.resolveGroup(g)
+	if err != nil {
+		return err
+	}
+	if len(agents) == 0 {
+		return fmt.Errorf("kripke: Lemma 2 requires a nonempty group")
+	}
+	for _, phi := range samples {
+		c, err := m.Eval(logic.C(g, phi))
+		if err != nil {
+			return err
+		}
+		inner := logic.Conj(phi, logic.C(g, phi))
+		for _, a := range agents {
+			ki, err := m.Eval(logic.K(logic.Agent(a), inner))
+			if err != nil {
+				return err
+			}
+			if !ki.Equal(c) {
+				return fmt.Errorf("kripke: Lemma 2 fails for φ = %s, agent %d", phi, a)
+			}
+		}
+	}
+	return nil
+}
+
+// HierarchyReport records, for one formula, the world sets of each level of
+// the Section 3 hierarchy C ⊃ E^k ⊃ ... ⊃ E ⊃ S ⊃ D ⊃ φ.
+type HierarchyReport struct {
+	Phi     int   // |φ|
+	D       int   // |D_G φ|
+	S       int   // |S_G φ|
+	E       []int // |E^1_G φ| ... |E^k_G φ|
+	C       int   // |C_G φ|
+	Ordered bool  // true iff C ⊆ E^k ⊆ ... ⊆ E^1 ⊆ S ⊆ D ⊆ φ... see below
+}
+
+// CheckHierarchy evaluates every level of the knowledge hierarchy for φ and
+// verifies the inclusions of Section 3:
+//
+//	C_G φ ⊆ ... ⊆ E^{k+1}_G φ ⊆ E^k_G φ ⊆ ... ⊆ E_G φ ⊆ S_G φ ⊆ D_G φ ⊆ φ.
+func CheckHierarchy(m *Model, g logic.Group, phi logic.Formula, maxK int) (HierarchyReport, error) {
+	var rep HierarchyReport
+	phiSet, err := m.Eval(phi)
+	if err != nil {
+		return rep, err
+	}
+	dSet, err := m.Eval(logic.D(g, phi))
+	if err != nil {
+		return rep, err
+	}
+	sSet, err := m.Eval(logic.S(g, phi))
+	if err != nil {
+		return rep, err
+	}
+	eSets, err := m.EKPrefix(g, phi, maxK)
+	if err != nil {
+		return rep, err
+	}
+	cSet, err := m.Eval(logic.C(g, phi))
+	if err != nil {
+		return rep, err
+	}
+
+	rep.Phi = phiSet.Count()
+	rep.D = dSet.Count()
+	rep.S = sSet.Count()
+	rep.C = cSet.Count()
+	rep.E = make([]int, len(eSets))
+	for i, s := range eSets {
+		rep.E[i] = s.Count()
+	}
+
+	rep.Ordered = dSet.SubsetOf(phiSet) && sSet.SubsetOf(dSet)
+	if len(eSets) > 0 {
+		rep.Ordered = rep.Ordered && eSets[0].SubsetOf(sSet)
+		for i := 1; i < len(eSets); i++ {
+			rep.Ordered = rep.Ordered && eSets[i].SubsetOf(eSets[i-1])
+		}
+		rep.Ordered = rep.Ordered && cSet.SubsetOf(eSets[len(eSets)-1])
+	} else {
+		rep.Ordered = rep.Ordered && cSet.SubsetOf(sSet)
+	}
+	return rep, nil
+}

@@ -1,0 +1,324 @@
+package kripke
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+)
+
+// ErrTemporal is returned when a formula uses the run-based operators of
+// Sections 11–12 (E^ε, E^⋄, E^T, ◇, □ and the corresponding common
+// knowledge variants) on a model without temporal structure.
+var ErrTemporal = errors.New("kripke: temporal operator requires a model with run/time structure")
+
+// Env binds fixed-point variables to world sets during evaluation.
+type Env map[string]*bitset.Set
+
+// clone returns a shallow copy with one extra binding.
+func (e Env) with(name string, s *bitset.Set) Env {
+	c := make(Env, len(e)+1)
+	for k, v := range e {
+		c[k] = v
+	}
+	c[name] = s
+	return c
+}
+
+// resolveGroup expands a (possibly nil) group into explicit agent indices,
+// validating them against the model.
+func (m *Model) resolveGroup(g logic.Group) ([]int, error) {
+	if g == nil {
+		all := make([]int, m.numAgents)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	out := make([]int, 0, len(g))
+	for _, a := range g {
+		if int(a) < 0 || int(a) >= m.numAgents {
+			return nil, fmt.Errorf("kripke: agent %d out of range [0,%d)", a, m.numAgents)
+		}
+		out = append(out, int(a))
+	}
+	return out, nil
+}
+
+// Eval returns the set of worlds at which f holds. The formula must be
+// closed (no free fixed-point variables).
+func (m *Model) Eval(f logic.Formula) (*bitset.Set, error) {
+	return m.EvalEnv(f, nil)
+}
+
+// EvalEnv evaluates f under an environment binding free fixed-point
+// variables to world sets.
+func (m *Model) EvalEnv(f logic.Formula, env Env) (*bitset.Set, error) {
+	switch n := f.(type) {
+	case logic.Prop:
+		return m.FactSet(n.Name), nil
+
+	case logic.Truth:
+		if n.Value {
+			return bitset.NewFull(m.numWorlds), nil
+		}
+		return bitset.New(m.numWorlds), nil
+
+	case logic.Var:
+		if s, ok := env[n.Name]; ok {
+			return s.Clone(), nil
+		}
+		return nil, fmt.Errorf("kripke: unbound fixed-point variable %s", n.Name)
+
+	case logic.Not:
+		s, err := m.EvalEnv(n.F, env)
+		if err != nil {
+			return nil, err
+		}
+		s.Not()
+		return s, nil
+
+	case logic.And:
+		out := bitset.NewFull(m.numWorlds)
+		for _, c := range n.Fs {
+			s, err := m.EvalEnv(c, env)
+			if err != nil {
+				return nil, err
+			}
+			out.And(s)
+		}
+		return out, nil
+
+	case logic.Or:
+		out := bitset.New(m.numWorlds)
+		for _, c := range n.Fs {
+			s, err := m.EvalEnv(c, env)
+			if err != nil {
+				return nil, err
+			}
+			out.Or(s)
+		}
+		return out, nil
+
+	case logic.Implies:
+		ant, err := m.EvalEnv(n.Ant, env)
+		if err != nil {
+			return nil, err
+		}
+		cons, err := m.EvalEnv(n.Cons, env)
+		if err != nil {
+			return nil, err
+		}
+		ant.Not()
+		ant.Or(cons)
+		return ant, nil
+
+	case logic.Iff:
+		l, err := m.EvalEnv(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.EvalEnv(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		// (l ∧ r) ∪ (¬l ∧ ¬r)
+		both := bitset.And(l, r)
+		l.Not()
+		r.Not()
+		l.And(r)
+		both.Or(l)
+		return both, nil
+
+	case logic.Know:
+		if int(n.Agent) < 0 || int(n.Agent) >= m.numAgents {
+			return nil, fmt.Errorf("kripke: agent %d out of range [0,%d)", n.Agent, m.numAgents)
+		}
+		s, err := m.EvalEnv(n.F, env)
+		if err != nil {
+			return nil, err
+		}
+		return m.knowSet(int(n.Agent), s), nil
+
+	case logic.Someone:
+		agents, err := m.resolveGroup(n.G)
+		if err != nil {
+			return nil, err
+		}
+		s, err := m.EvalEnv(n.F, env)
+		if err != nil {
+			return nil, err
+		}
+		out := bitset.New(m.numWorlds)
+		for _, a := range agents {
+			out.Or(m.knowSet(a, s))
+		}
+		return out, nil
+
+	case logic.Everyone:
+		agents, err := m.resolveGroup(n.G)
+		if err != nil {
+			return nil, err
+		}
+		s, err := m.EvalEnv(n.F, env)
+		if err != nil {
+			return nil, err
+		}
+		out := bitset.NewFull(m.numWorlds)
+		for _, a := range agents {
+			out.And(m.knowSet(a, s))
+		}
+		return out, nil
+
+	case logic.Dist:
+		agents, err := m.resolveGroup(n.G)
+		if err != nil {
+			return nil, err
+		}
+		s, err := m.EvalEnv(n.F, env)
+		if err != nil {
+			return nil, err
+		}
+		return m.distSet(agents, s), nil
+
+	case logic.Common:
+		agents, err := m.resolveGroup(n.G)
+		if err != nil {
+			return nil, err
+		}
+		s, err := m.EvalEnv(n.F, env)
+		if err != nil {
+			return nil, err
+		}
+		return m.commonSet(agents, s), nil
+
+	case logic.Nu:
+		return m.fixpoint(n.Var, n.Body, env, true)
+
+	case logic.Mu:
+		return m.fixpoint(n.Var, n.Body, env, false)
+
+	case logic.EveryEps, logic.CommonEps, logic.EveryEv, logic.CommonEv,
+		logic.EveryTime, logic.CommonTime, logic.Eventually, logic.Always:
+		if m.Temporal == nil {
+			return nil, fmt.Errorf("%w: %s", ErrTemporal, f)
+		}
+		rec := func(sub logic.Formula) (*bitset.Set, error) {
+			return m.EvalEnv(sub, env)
+		}
+		return m.Temporal.EvalTemporal(m, f, rec)
+
+	default:
+		return nil, fmt.Errorf("kripke: unsupported formula %T", f)
+	}
+}
+
+// fixpoint computes νX.body (greatest = true) or μX.body (least) by the
+// standard Knaster–Tarski iteration of Appendix A. On a finite model the
+// iteration converges in at most NumWorlds+1 steps for monotone bodies;
+// non-monotone bodies (which WellFormed rejects) would oscillate, so the
+// iteration is capped and an error returned if no fixed point is reached.
+func (m *Model) fixpoint(name string, body logic.Formula, env Env, greatest bool) (*bitset.Set, error) {
+	if p := logic.PolarityOf(body, name); p == logic.PolarityNegative || p == logic.PolarityMixed {
+		return nil, fmt.Errorf("kripke: %s occurs non-positively in fixed point body %s", name, body)
+	}
+	var cur *bitset.Set
+	if greatest {
+		cur = bitset.NewFull(m.numWorlds)
+	} else {
+		cur = bitset.New(m.numWorlds)
+	}
+	for iter := 0; iter <= m.numWorlds+1; iter++ {
+		next, err := m.EvalEnv(body, env.with(name, cur))
+		if err != nil {
+			return nil, err
+		}
+		if next.Equal(cur) {
+			return cur, nil
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("kripke: fixed point for %s did not converge", name)
+}
+
+// FixpointIterations computes νX.body and additionally reports the number
+// of iterations needed to converge (for the Appendix A experiments).
+func (m *Model) FixpointIterations(name string, body logic.Formula) (*bitset.Set, int, error) {
+	cur := bitset.NewFull(m.numWorlds)
+	for iter := 0; iter <= m.numWorlds+1; iter++ {
+		next, err := m.EvalEnv(body, Env{}.with(name, cur))
+		if err != nil {
+			return nil, 0, err
+		}
+		if next.Equal(cur) {
+			return cur, iter, nil
+		}
+		cur = next
+	}
+	return nil, 0, fmt.Errorf("kripke: fixed point for %s did not converge", name)
+}
+
+// Holds reports whether f holds at world w.
+func (m *Model) Holds(f logic.Formula, w int) (bool, error) {
+	s, err := m.Eval(f)
+	if err != nil {
+		return false, err
+	}
+	return s.Contains(w), nil
+}
+
+// Valid reports whether f holds at every world of the model (the paper's
+// "valid in the system").
+func (m *Model) Valid(f logic.Formula) (bool, error) {
+	s, err := m.Eval(f)
+	if err != nil {
+		return false, err
+	}
+	return s.IsFull(), nil
+}
+
+// Announce returns the model that results from a truthful public
+// announcement of f: the submodel restricted to the worlds where f holds.
+// This is the update performed by the father's announcement in the muddy
+// children puzzle (Section 2) and by each round of simultaneous answers.
+func (m *Model) Announce(f logic.Formula) (*Model, error) {
+	s, err := m.Eval(f)
+	if err != nil {
+		return nil, err
+	}
+	return m.Restrict(s), nil
+}
+
+// CommonKnowledgeByIteration evaluates C_G φ via the greatest fixed point
+// νX.E_G(φ ∧ X) rather than via reachability components. Used by the
+// Appendix A experiments to confirm the two characterizations agree, and by
+// the ablation benchmarks.
+func (m *Model) CommonKnowledgeByIteration(g logic.Group, f logic.Formula) (*bitset.Set, int, error) {
+	body := logic.E(g, logic.Conj(f, logic.X("__ck")))
+	return m.FixpointIterations("__ck", body)
+}
+
+// EKPrefix returns the sets E^1_G φ, E^2_G φ, ..., E^k_G φ, computed
+// incrementally (each level applies one "everyone knows" step to the
+// previous level's world set).
+func (m *Model) EKPrefix(g logic.Group, f logic.Formula, k int) ([]*bitset.Set, error) {
+	agents, err := m.resolveGroup(g)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := m.Eval(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*bitset.Set, 0, k)
+	for i := 1; i <= k; i++ {
+		next := bitset.NewFull(m.numWorlds)
+		for _, a := range agents {
+			next.And(m.knowSet(a, cur))
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out, nil
+}

@@ -1,0 +1,527 @@
+package kripke
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// twoAgentModel builds the toy model used throughout the basic tests:
+//
+//	worlds: 0 (p true), 1 (p false)
+//	agent 0 distinguishes them, agent 1 does not.
+func twoAgentModel() *Model {
+	m := NewModel(2, 2)
+	m.SetTrue(0, "p")
+	m.Indistinguishable(1, 0, 1)
+	return m
+}
+
+func mustEval(t *testing.T, m *Model, src string) []int {
+	t.Helper()
+	s, err := m.Eval(logic.MustParse(src))
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return s.Elements()
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicKnowledge(t *testing.T) {
+	m := twoAgentModel()
+	tests := []struct {
+		src  string
+		want []int
+	}{
+		{"p", []int{0}},
+		{"~p", []int{1}},
+		{"K0 p", []int{0}},              // agent 0 sees which world it is
+		{"K1 p", []int{}},               // agent 1 cannot rule out world 1
+		{"K1 ~p", []int{}},              //
+		{"~K1 p & ~K1 ~p", []int{0, 1}}, // agent 1 is ignorant everywhere
+		{"K1 (p | ~p)", []int{0, 1}},
+		{"E{0} p", []int{0}},
+		{"E p", []int{}},     // both agents: intersection
+		{"S p", []int{0}},    // someone (agent 0) knows at world 0
+		{"D p", []int{0}},    // joint view separates the worlds
+		{"C{0} p", []int{0}}, // single-agent C = K
+		{"C p", []int{}},     // component {0,1} contains a ¬p world
+		{"true", []int{0, 1}},
+		{"false", []int{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			if got := mustEval(t, m, tt.src); !sameInts(got, tt.want) {
+				t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistributedKnowledgePooling(t *testing.T) {
+	// The Section 3 example: one member knows ψ, another knows ψ ⊃ φ, and
+	// the group has distributed knowledge of φ although neither member
+	// knows φ individually.
+	//
+	// Worlds encode (ψ, φ): w0 = (T,T), w1 = (T,F), w2 = (F,T), w3 = (F,F).
+	// Agent 0 knows whether ψ: distinguishes {0,1} from {2,3}.
+	// Agent 1 knows whether ψ ⊃ φ: ψ⊃φ holds at w0, w2, w3; fails at w1.
+	m := NewModel(4, 2)
+	m.SetTrue(0, "psi")
+	m.SetTrue(1, "psi")
+	m.SetTrue(0, "phi")
+	m.SetTrue(2, "phi")
+	// agent 0: {0,1}, {2,3}
+	m.Indistinguishable(0, 0, 1)
+	m.Indistinguishable(0, 2, 3)
+	// agent 1: {0,2,3}, {1}
+	m.Indistinguishable(1, 0, 2)
+	m.Indistinguishable(1, 2, 3)
+
+	// At w0: agent 0 knows ψ but not φ; agent 1 knows ψ⊃φ but not φ.
+	if got := mustEval(t, m, "K0 phi"); len(got) != 0 {
+		t.Errorf("K0 phi = %v, want empty", got)
+	}
+	if got := mustEval(t, m, "K1 phi"); len(got) != 0 {
+		t.Errorf("K1 phi = %v, want empty", got)
+	}
+	if got := mustEval(t, m, "K0 psi"); !sameInts(got, []int{0, 1}) {
+		t.Errorf("K0 psi = %v, want [0 1]", got)
+	}
+	if got := mustEval(t, m, "K1 (psi -> phi)"); !sameInts(got, []int{0, 2, 3}) {
+		t.Errorf("K1 (psi->phi) = %v", got)
+	}
+	// Joint view at w0 intersects {0,1} ∩ {0,2,3} = {0}, so D φ holds.
+	if got := mustEval(t, m, "D phi"); !sameInts(got, []int{0}) {
+		t.Errorf("D phi = %v, want [0]", got)
+	}
+}
+
+func TestSharedMemoryCollapse(t *testing.T) {
+	// Section 3: when knowledge is based on a common memory (all agents
+	// have the same view function), the hierarchy collapses:
+	// D ≡ S ≡ E ≡ C.
+	m := NewModel(6, 3)
+	for w := 0; w < 6; w += 2 {
+		m.SetTrue(w, "p")
+	}
+	// All agents share the partition {0,1}, {2,3}, {4,5}.
+	for a := 0; a < 3; a++ {
+		m.Indistinguishable(a, 0, 1)
+		m.Indistinguishable(a, 2, 3)
+		m.Indistinguishable(a, 4, 5)
+	}
+	for _, phi := range []string{"p", "~p", "p | ~p"} {
+		d := mustEval(t, m, "D "+phi)
+		s := mustEval(t, m, "S "+phi)
+		e := mustEval(t, m, "E "+phi)
+		c := mustEval(t, m, "C "+phi)
+		if !sameInts(d, s) || !sameInts(s, e) || !sameInts(e, c) {
+			t.Errorf("hierarchy did not collapse for %s: D=%v S=%v E=%v C=%v", phi, d, s, e, c)
+		}
+	}
+}
+
+func TestObliviousViewMakesValidFactsCommonKnowledge(t *testing.T) {
+	// Section 6: under the single-view interpretation (one class per
+	// agent), every fact true at all points is common knowledge.
+	m := NewModel(5, 2)
+	for w := 0; w < 5; w++ {
+		m.SetTrue(w, "p")
+		if w < 3 {
+			m.SetTrue(w, "q")
+		}
+	}
+	for a := 0; a < 2; a++ {
+		for w := 1; w < 5; w++ {
+			m.Indistinguishable(a, 0, w)
+		}
+	}
+	if got := mustEval(t, m, "C p"); len(got) != 5 {
+		t.Errorf("C p = %v, want all worlds", got)
+	}
+	if got := mustEval(t, m, "C q"); len(got) != 0 {
+		t.Errorf("C q = %v, want empty (q is not valid)", got)
+	}
+}
+
+func TestEKPrefixMatchesDirectEvaluation(t *testing.T) {
+	m := chainModel(6)
+	pre, err := m.EKPrefix(nil, logic.P("p"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 4; k++ {
+		direct, err := m.Eval(logic.EK(nil, k, logic.P("p")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pre[k-1].Equal(direct) {
+			t.Errorf("EKPrefix level %d disagrees with direct evaluation", k)
+		}
+	}
+}
+
+// chainModel builds the classic "chain of ignorance" model with n worlds:
+// p holds everywhere except the last world; agent 0 confuses (2i, 2i+1),
+// agent 1 confuses (2i+1, 2i+2). E^k p shrinks one world per level, so the
+// hierarchy is strict — the structure underlying the muddy children and
+// coordinated attack analyses.
+func chainModel(n int) *Model {
+	m := NewModel(n, 2)
+	for w := 0; w < n-1; w++ {
+		m.SetTrue(w, "p")
+	}
+	for w := 0; w+1 < n; w++ {
+		m.Indistinguishable(w%2, w, w+1)
+	}
+	return m
+}
+
+func TestChainHierarchyStrict(t *testing.T) {
+	const n = 8
+	m := chainModel(n)
+	rep, err := CheckHierarchy(m, nil, logic.P("p"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ordered {
+		t.Fatal("hierarchy inclusions violated")
+	}
+	if rep.C != 0 {
+		t.Errorf("C p should be empty on the chain, got %d worlds", rep.C)
+	}
+	// Each E^k level strictly shrinks until empty.
+	prev := rep.S
+	for k, size := range rep.E {
+		if size >= prev && size != 0 {
+			t.Errorf("E^%d did not shrink: %d >= %d", k+1, size, prev)
+		}
+		prev = size
+	}
+}
+
+func TestCommonKnowledgeByIterationAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, 2+rng.Intn(30), 1+rng.Intn(3))
+		phi := logic.P("p")
+		direct, err := m.Eval(logic.C(nil, phi))
+		if err != nil {
+			return false
+		}
+		iter, _, err := m.CommonKnowledgeByIteration(nil, phi)
+		if err != nil {
+			return false
+		}
+		return direct.Equal(iter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomModel generates a random model with random partitions and a random
+// valuation of "p" and "q".
+func randomModel(rng *rand.Rand, worlds, agents int) *Model {
+	m := NewModel(worlds, agents)
+	for w := 0; w < worlds; w++ {
+		if rng.Intn(2) == 0 {
+			m.SetTrue(w, "p")
+		}
+		if rng.Intn(2) == 0 {
+			m.SetTrue(w, "q")
+		}
+	}
+	for a := 0; a < agents; a++ {
+		merges := rng.Intn(worlds)
+		for i := 0; i < merges; i++ {
+			m.Indistinguishable(a, rng.Intn(worlds), rng.Intn(worlds))
+		}
+	}
+	return m
+}
+
+var s5Samples = []logic.Formula{
+	logic.P("p"),
+	logic.P("q"),
+	logic.Neg(logic.P("p")),
+	logic.Disj(logic.P("p"), logic.P("q")),
+	logic.Disj(logic.P("p"), logic.Neg(logic.P("p"))), // valid
+	logic.K(0, logic.P("p")),
+}
+
+// TestQuickProposition1 machine-checks Proposition 1: K_i, D_G and C_G have
+// the S5 properties on random view-based models, and C satisfies C1/C2 and
+// Lemma 2.
+func TestQuickProposition1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		agents := 2 + rng.Intn(2)
+		m := randomModel(rng, 2+rng.Intn(20), agents)
+		g := logic.NewGroup(0, 1)
+
+		ops := []Op{
+			func(x logic.Formula) logic.Formula { return logic.K(0, x) },
+			func(x logic.Formula) logic.Formula { return logic.K(1, x) },
+			func(x logic.Formula) logic.Formula { return logic.D(g, x) },
+			func(x logic.Formula) logic.Formula { return logic.D(nil, x) },
+			func(x logic.Formula) logic.Formula { return logic.C(g, x) },
+			func(x logic.Formula) logic.Formula { return logic.C(nil, x) },
+		}
+		for _, op := range ops {
+			rep, err := CheckS5(m, op, s5Samples)
+			if err != nil {
+				t.Logf("CheckS5 error: %v", err)
+				return false
+			}
+			if !rep.AllHold() {
+				t.Logf("S5 failure (seed %d): %s", seed, rep.Failure)
+				return false
+			}
+		}
+		if err := CheckFixedPointAxiom(m, g, s5Samples); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := CheckInductionRule(m, g, s5Samples); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := CheckLemma2(m, g, s5Samples); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHierarchyInclusions checks the Section 3 inclusion chain on
+// random models and random formulas.
+func TestQuickHierarchyInclusions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, 2+rng.Intn(25), 2+rng.Intn(3))
+		for _, phi := range []logic.Formula{logic.P("p"), logic.Disj(logic.P("p"), logic.P("q"))} {
+			rep, err := CheckHierarchy(m, nil, phi, 4)
+			if err != nil || !rep.Ordered {
+				t.Logf("hierarchy violated (seed %d): %+v err=%v", seed, rep, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNuMuEvaluation(t *testing.T) {
+	m := chainModel(6)
+	// νX.E(p ∧ X) is C p — empty on the chain.
+	nu, err := m.Eval(logic.MustParse("nu X . E (p & X)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Eval(logic.MustParse("C p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nu.Equal(c) {
+		t.Error("nu X . E (p & X) != C p")
+	}
+	// μX.p ∨ E X: least fixed point. Start empty: X0=∅, X1 = p ∨ E∅ = p,
+	// X2 = p ∨ E p, ... converges to worlds from which... just check that
+	// it contains p-worlds and is a fixed point.
+	mu, err := m.Eval(logic.MustParse("mu X . p | E X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Eval(logic.P("p"))
+	if !p.SubsetOf(mu) {
+		t.Error("mu X . p | E X should contain p")
+	}
+	// νX.X is everything; μX.X is nothing.
+	top, _ := m.Eval(logic.MustParse("nu X . X"))
+	if !top.IsFull() {
+		t.Error("nu X . X should be all worlds")
+	}
+	bot, _ := m.Eval(logic.MustParse("mu X . X"))
+	if !bot.IsEmpty() {
+		t.Error("mu X . X should be empty")
+	}
+}
+
+func TestFixpointRejectsNegativeBody(t *testing.T) {
+	m := twoAgentModel()
+	// Construct νX.¬X directly (the parser would reject it).
+	bad := logic.Nu{Var: "X", Body: logic.Neg(logic.X("X"))}
+	if _, err := m.Eval(bad); err == nil {
+		t.Error("expected error for non-monotone fixed point body")
+	}
+}
+
+func TestUnboundVariable(t *testing.T) {
+	m := twoAgentModel()
+	if _, err := m.Eval(logic.X("X")); err == nil {
+		t.Error("expected error for unbound variable")
+	}
+}
+
+func TestTemporalWithoutStructure(t *testing.T) {
+	m := twoAgentModel()
+	for _, src := range []string{"<> p", "[] p", "Ev p", "Cv p", "Ee[1] p", "Ce[1] p", "Et[0] p", "Ct[0] p"} {
+		_, err := m.Eval(logic.MustParse(src))
+		if !errors.Is(err, ErrTemporal) {
+			t.Errorf("Eval(%q) error = %v, want ErrTemporal", src, err)
+		}
+	}
+}
+
+func TestAgentOutOfRange(t *testing.T) {
+	m := twoAgentModel()
+	if _, err := m.Eval(logic.MustParse("K7 p")); err == nil {
+		t.Error("expected error for out-of-range agent")
+	}
+	if _, err := m.Eval(logic.MustParse("E{0,7} p")); err == nil {
+		t.Error("expected error for out-of-range group member")
+	}
+}
+
+func TestRestrictAnnounce(t *testing.T) {
+	// Three worlds, p at {0,1}, q at {0}; agent 0 confuses all three,
+	// agent 1 distinguishes all. Announcing p removes world 2.
+	m := NewModel(3, 2)
+	m.SetTrue(0, "p")
+	m.SetTrue(1, "p")
+	m.SetTrue(0, "q")
+	m.Indistinguishable(0, 0, 1)
+	m.Indistinguishable(0, 1, 2)
+	m.SetName(0, "a")
+	m.SetName(1, "b")
+	m.SetName(2, "c")
+
+	before, _ := m.Eval(logic.MustParse("K0 p"))
+	if !before.IsEmpty() {
+		t.Fatal("agent 0 should not know p before the announcement")
+	}
+	sub, err := m.Announce(logic.P("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumWorlds() != 2 {
+		t.Fatalf("announcement kept %d worlds, want 2", sub.NumWorlds())
+	}
+	after, _ := sub.Eval(logic.MustParse("K0 p"))
+	if !after.IsFull() {
+		t.Error("agent 0 should know p after the announcement")
+	}
+	// p is common knowledge after the public announcement.
+	c, _ := sub.Eval(logic.MustParse("C p"))
+	if !c.IsFull() {
+		t.Error("p should be common knowledge after the announcement")
+	}
+	// names survive
+	if w, ok := sub.WorldByName("b"); !ok || sub.Name(w) != "b" {
+		t.Error("world names not preserved by Restrict")
+	}
+	// q-world survived with q true
+	qSet, _ := sub.Eval(logic.P("q"))
+	if qSet.Count() != 1 {
+		t.Error("q valuation not preserved by Restrict")
+	}
+}
+
+func TestValidAndHolds(t *testing.T) {
+	m := twoAgentModel()
+	taut := logic.MustParse("p | ~p")
+	if ok, _ := m.Valid(taut); !ok {
+		t.Error("tautology should be valid")
+	}
+	if ok, _ := m.Valid(logic.P("p")); ok {
+		t.Error("p is not valid")
+	}
+	if ok, _ := m.Holds(logic.P("p"), 0); !ok {
+		t.Error("p should hold at world 0")
+	}
+	if ok, _ := m.Holds(logic.P("p"), 1); ok {
+		t.Error("p should not hold at world 1")
+	}
+}
+
+func TestIffSemantics(t *testing.T) {
+	m := NewModel(4, 1)
+	m.SetTrue(0, "a")
+	m.SetTrue(1, "a")
+	m.SetTrue(0, "b")
+	m.SetTrue(2, "b")
+	got := mustEval(t, m, "a <-> b")
+	if !sameInts(got, []int{0, 3}) {
+		t.Errorf("a <-> b = %v, want [0 3]", got)
+	}
+}
+
+func TestFixpointIterationCount(t *testing.T) {
+	// On the chain model, νX.E(p ∧ X) must iterate ~n times before
+	// converging to empty — the "no finite level of E^k suffices"
+	// observation made computational.
+	for _, n := range []int{4, 8, 12} {
+		m := chainModel(n)
+		_, iters, err := m.CommonKnowledgeByIteration(nil, logic.P("p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iters < n/2 {
+			t.Errorf("chain(%d): converged too fast (%d iterations)", n, iters)
+		}
+	}
+}
+
+func BenchmarkCommonKnowledgeComponents(b *testing.B) {
+	m := chainModel(4096)
+	phi := logic.C(nil, logic.P("p"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Eval(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommonKnowledgeIteration(b *testing.B) {
+	m := chainModel(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.CommonKnowledgeByIteration(nil, logic.P("p")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKnowledgeOperator(b *testing.B) {
+	m := chainModel(4096)
+	phi := logic.K(0, logic.P("p"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Eval(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

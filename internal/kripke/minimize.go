@@ -1,0 +1,156 @@
+package kripke
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minimize returns the bisimulation quotient of the model: the smallest
+// model satisfying exactly the same formulas of the knowledge language at
+// corresponding worlds, together with the mapping from old worlds to new.
+//
+// Point models built from large systems often contain many epistemically
+// identical points (e.g. every silent tail of a run); minimizing before
+// repeated evaluation can shrink them substantially. The quotient is
+// computed by partition refinement: blocks start as valuation classes and
+// split until every block has, for every agent, the same set of blocks
+// reachable through that agent's indistinguishability class.
+//
+// The quotient does not preserve the run/time structure, so the Temporal
+// hook is not carried over; minimize only models whose formulas are free
+// of the run-based operators.
+func (m *Model) Minimize() (*Model, []int) {
+	m.ensureClasses()
+
+	// Initial partition: by fact signature.
+	block := make([]int, m.numWorlds)
+	{
+		props := make([]string, 0, len(m.valuation))
+		for p := range m.valuation {
+			props = append(props, p)
+		}
+		sort.Strings(props)
+		sig := make(map[string]int)
+		for w := 0; w < m.numWorlds; w++ {
+			var b strings.Builder
+			for _, p := range props {
+				if m.valuation[p].Contains(w) {
+					b.WriteString(p)
+					b.WriteByte(';')
+				}
+			}
+			key := b.String()
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			block[w] = id
+		}
+	}
+
+	// Refine until stable: signature = (block, for each agent the sorted
+	// set of blocks in the agent's class).
+	for {
+		sig := make(map[string]int)
+		next := make([]int, m.numWorlds)
+		// classBlocks[a][class] caches the sorted block set of a class.
+		classBlocks := make([]map[int]string, m.numAgents)
+		for a := range classBlocks {
+			classBlocks[a] = make(map[int]string)
+		}
+		for a := 0; a < m.numAgents; a++ {
+			members := make(map[int][]int)
+			for w := 0; w < m.numWorlds; w++ {
+				id := m.classes[a][w]
+				members[id] = append(members[id], block[w])
+			}
+			for id, blocks := range members {
+				sort.Ints(blocks)
+				var b strings.Builder
+				prev := -1
+				for _, bl := range blocks {
+					if bl != prev {
+						fmt.Fprintf(&b, "%d,", bl)
+						prev = bl
+					}
+				}
+				classBlocks[a][id] = b.String()
+			}
+		}
+		for w := 0; w < m.numWorlds; w++ {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d|", block[w])
+			for a := 0; a < m.numAgents; a++ {
+				b.WriteString(classBlocks[a][m.classes[a][w]])
+				b.WriteByte('|')
+			}
+			key := b.String()
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			next[w] = id
+		}
+		same := true
+		// Compare partitions up to renaming: refinement only splits, so
+		// equal block counts mean stability.
+		oldCount := countBlocks(block)
+		newCount := countBlocks(next)
+		if newCount != oldCount {
+			same = false
+		}
+		block = next
+		if same {
+			break
+		}
+	}
+
+	// Build the quotient.
+	nBlocks := countBlocks(block)
+	q := NewModel(nBlocks, m.numAgents)
+	rep := make([]int, nBlocks)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for w := 0; w < m.numWorlds; w++ {
+		if rep[block[w]] == -1 {
+			rep[block[w]] = w
+		}
+	}
+	for prop, set := range m.valuation {
+		for b := 0; b < nBlocks; b++ {
+			if set.Contains(rep[b]) {
+				q.SetTrue(b, prop)
+			}
+		}
+	}
+	for a := 0; a < m.numAgents; a++ {
+		// Blocks are a-indistinguishable iff some members are.
+		first := make(map[int]int) // class id -> block
+		for w := 0; w < m.numWorlds; w++ {
+			id := m.classes[a][w]
+			if prev, ok := first[id]; ok {
+				q.Indistinguishable(a, prev, block[w])
+			} else {
+				first[id] = block[w]
+			}
+		}
+	}
+	for b := 0; b < nBlocks; b++ {
+		q.SetName(b, fmt.Sprintf("b%d<%s>", b, m.Name(rep[b])))
+	}
+	return q, block
+}
+
+func countBlocks(block []int) int {
+	max := -1
+	for _, b := range block {
+		if b > max {
+			max = b
+		}
+	}
+	return max + 1
+}

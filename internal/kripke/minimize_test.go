@@ -1,0 +1,122 @@
+package kripke
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func TestMinimizeMergesDuplicateComponents(t *testing.T) {
+	// Two identical disjoint components: worlds {0,1} and {2,3}, p at the
+	// even world of each, agent 0 confusing the pair. The quotient should
+	// have 2 worlds.
+	m := NewModel(4, 1)
+	m.SetTrue(0, "p")
+	m.SetTrue(2, "p")
+	m.Indistinguishable(0, 0, 1)
+	m.Indistinguishable(0, 2, 3)
+	q, block := m.Minimize()
+	if q.NumWorlds() != 2 {
+		t.Fatalf("quotient has %d worlds, want 2", q.NumWorlds())
+	}
+	if block[0] != block[2] || block[1] != block[3] || block[0] == block[1] {
+		t.Errorf("block map %v does not identify the twin components", block)
+	}
+}
+
+func TestMinimizeKeepsDistinguishableWorlds(t *testing.T) {
+	// The chain model is already minimal: every world has a distinct
+	// epistemic theory even when valuations repeat.
+	m := chainModel(8)
+	q, _ := m.Minimize()
+	if q.NumWorlds() != 8 {
+		t.Errorf("chain quotient has %d worlds, want 8", q.NumWorlds())
+	}
+}
+
+func TestMinimizeSeparatesByDepth(t *testing.T) {
+	// Worlds with equal facts but different knowledge must stay apart:
+	// w0 (p, seen by agent as {w0}), w1 (p, confused with ~p world w2).
+	m := NewModel(3, 1)
+	m.SetTrue(0, "p")
+	m.SetTrue(1, "p")
+	m.Indistinguishable(0, 1, 2)
+	q, block := m.Minimize()
+	if q.NumWorlds() != 3 {
+		t.Fatalf("quotient has %d worlds, want 3", q.NumWorlds())
+	}
+	if block[0] == block[1] {
+		t.Error("K p differs at w0 and w1; they must not merge")
+	}
+}
+
+// TestQuickMinimizePreservesTheory: random formulas hold at a world iff
+// they hold at its block in the quotient.
+func TestQuickMinimizePreservesTheory(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		agents := 1 + rng.Intn(3)
+		m := randomModel(rng, 2+rng.Intn(25), agents)
+		formulas := []logic.Formula{
+			logic.P("p"),
+			logic.K(0, logic.P("p")),
+			logic.C(nil, logic.Disj(logic.P("p"), logic.P("q"))),
+			logic.D(nil, logic.P("q")),
+			logic.S(nil, logic.Conj(logic.P("p"), logic.P("q"))),
+			logic.EK(nil, 3, logic.P("p")),
+			logic.MustParse("nu X . E (p & X)"),
+		}
+		if agents >= 2 {
+			formulas = append(formulas, logic.K(1, logic.Neg(logic.K(0, logic.P("p")))))
+		}
+		q, block := m.Minimize()
+		if q.NumWorlds() > m.NumWorlds() {
+			return false
+		}
+		for _, phi := range formulas {
+			orig, err := m.Eval(phi)
+			if err != nil {
+				return false
+			}
+			mini, err := q.Eval(phi)
+			if err != nil {
+				return false
+			}
+			for w := 0; w < m.NumWorlds(); w++ {
+				if orig.Contains(w) != mini.Contains(block[w]) {
+					t.Logf("seed %d: %s differs at w%d (block %d)", seed, phi, w, block[w])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinimizeIdempotent: minimizing a quotient changes nothing.
+func TestQuickMinimizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, 2+rng.Intn(20), 1+rng.Intn(3))
+		q, _ := m.Minimize()
+		qq, _ := q.Minimize()
+		return qq.NumWorlds() == q.NumWorlds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomModel(rng, 512, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Minimize()
+	}
+}

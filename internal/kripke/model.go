@@ -1,0 +1,418 @@
+// Package kripke implements finite epistemic Kripke models and the model
+// checking of the knowledge hierarchy of Halpern & Moses Section 3.
+//
+// A model is a finite set of worlds, one indistinguishability partition per
+// agent, and a valuation of ground facts. This is exactly the graph of
+// Section 6 of the paper: worlds are nodes, and two worlds share an edge
+// labeled p_i iff agent i has the same view in both. Knowledge operators are
+// computed from the partitions:
+//
+//   - K_i φ holds at w iff φ holds throughout agent i's partition class of w.
+//   - D_G φ uses the common refinement (joint views) of the G partitions.
+//   - C_G φ holds at w iff φ holds throughout the G-reachability component
+//     of w — the connected component of w under the union of the G
+//     partitions — which the package computes with a disjoint-set union.
+//
+// The package also provides public-announcement updates (the father's
+// announcement in the muddy children puzzle is Announce) and validity
+// checking used by the axiom checkers in axioms.go.
+package kripke
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+	"repro/internal/unionfind"
+)
+
+// Model is a finite epistemic model. Create one with NewModel, add facts and
+// indistinguishability edges, then evaluate formulas with Eval. Models may
+// be evaluated concurrently once fully constructed, but construction is not
+// safe for concurrent use.
+type Model struct {
+	numWorlds int
+	numAgents int
+
+	names   []string       // optional world names, "" if unnamed
+	nameIdx map[string]int // reverse lookup for named worlds
+
+	// dsu[a] accumulates agent a's indistinguishability relation during
+	// construction; class tables are derived lazily and invalidated by
+	// Indistinguishable.
+	dsu     []*unionfind.DSU
+	classes [][]int // classes[a][w] = dense class id of w for agent a
+	nclass  []int   // number of classes per agent
+
+	valuation map[string]*bitset.Set
+
+	// Temporal, if non-nil, evaluates the run-based operators of Sections
+	// 11–12 (E^ε, E^⋄, E^T and their C variants) and the linear-time ◇/□.
+	// Plain Kripke models reject those operators.
+	Temporal TemporalSemantics
+}
+
+// TemporalSemantics evaluates temporal operators over a model whose worlds
+// carry run/time structure. rec evaluates subformulas in the same model
+// (with the current fixed-point environment in scope).
+type TemporalSemantics interface {
+	EvalTemporal(m *Model, f logic.Formula, rec func(sub logic.Formula) (*bitset.Set, error)) (*bitset.Set, error)
+}
+
+// NewModel returns a model with numWorlds worlds and numAgents agents in
+// which every pair of distinct worlds is distinguishable by every agent and
+// no ground facts hold.
+func NewModel(numWorlds, numAgents int) *Model {
+	m := &Model{
+		numWorlds: numWorlds,
+		numAgents: numAgents,
+		names:     make([]string, numWorlds),
+		nameIdx:   make(map[string]int),
+		dsu:       make([]*unionfind.DSU, numAgents),
+		valuation: make(map[string]*bitset.Set),
+	}
+	for a := range m.dsu {
+		m.dsu[a] = unionfind.New(numWorlds)
+	}
+	return m
+}
+
+// NumWorlds returns the number of worlds in the model.
+func (m *Model) NumWorlds() int { return m.numWorlds }
+
+// NumAgents returns the number of agents in the model.
+func (m *Model) NumAgents() int { return m.numAgents }
+
+// SetName assigns a name to a world (for display and lookup).
+func (m *Model) SetName(w int, name string) {
+	m.names[w] = name
+	m.nameIdx[name] = w
+}
+
+// Name returns the name of world w, or "w<index>" if unnamed.
+func (m *Model) Name(w int) string {
+	if w >= 0 && w < m.numWorlds && m.names[w] != "" {
+		return m.names[w]
+	}
+	return fmt.Sprintf("w%d", w)
+}
+
+// WorldByName returns the index of the world with the given name.
+func (m *Model) WorldByName(name string) (int, bool) {
+	w, ok := m.nameIdx[name]
+	return w, ok
+}
+
+// SetTrue makes the ground fact prop true at world w.
+func (m *Model) SetTrue(w int, prop string) {
+	s, ok := m.valuation[prop]
+	if !ok {
+		s = bitset.New(m.numWorlds)
+		m.valuation[prop] = s
+	}
+	s.Add(w)
+}
+
+// SetFact sets the truth value of prop at w explicitly.
+func (m *Model) SetFact(w int, prop string, value bool) {
+	if value {
+		m.SetTrue(w, prop)
+		return
+	}
+	if s, ok := m.valuation[prop]; ok {
+		s.Remove(w)
+	}
+}
+
+// FactSet returns the set of worlds where prop holds. Unknown facts hold
+// nowhere. The returned set is a copy.
+func (m *Model) FactSet(prop string) *bitset.Set {
+	if s, ok := m.valuation[prop]; ok {
+		return s.Clone()
+	}
+	return bitset.New(m.numWorlds)
+}
+
+// Facts returns the names of all ground facts with a valuation entry.
+func (m *Model) Facts() []string {
+	out := make([]string, 0, len(m.valuation))
+	for name := range m.valuation {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Indistinguishable declares that agent a cannot distinguish worlds w1 and
+// w2 (they are joined by an edge labeled p_a in the Section 6 graph). The
+// relation is closed under reflexivity, symmetry and transitivity
+// automatically, as required for view-based (S5) interpretations.
+func (m *Model) Indistinguishable(a int, w1, w2 int) {
+	m.dsu[a].Union(w1, w2)
+	m.classes = nil // invalidate derived tables
+}
+
+// SameClass reports whether agent a has the same view at w1 and w2.
+func (m *Model) SameClass(a int, w1, w2 int) bool {
+	return m.dsu[a].Same(w1, w2)
+}
+
+// ensureClasses materializes the dense class-id tables.
+func (m *Model) ensureClasses() {
+	if m.classes != nil {
+		return
+	}
+	m.classes = make([][]int, m.numAgents)
+	m.nclass = make([]int, m.numAgents)
+	for a := 0; a < m.numAgents; a++ {
+		ids := m.dsu[a].CompIDs()
+		m.classes[a] = ids
+		m.nclass[a] = m.dsu[a].Components()
+	}
+}
+
+// ClassID returns agent a's dense view-class id of world w.
+func (m *Model) ClassID(a, w int) int {
+	m.ensureClasses()
+	return m.classes[a][w]
+}
+
+// KnowSet computes K_a applied to an already-evaluated world set phi: the
+// worlds whose whole partition class for agent a lies inside phi. It is the
+// set-level form of the K_a operator, used by the temporal semantics of the
+// runs package.
+func (m *Model) KnowSet(a int, phi *bitset.Set) *bitset.Set {
+	return m.knowSet(a, phi)
+}
+
+// GroupAgents expands a (possibly nil) group into explicit agent indices.
+func (m *Model) GroupAgents(g logic.Group) ([]int, error) {
+	return m.resolveGroup(g)
+}
+
+// EveryoneSet computes E_G applied to an already-evaluated world set.
+func (m *Model) EveryoneSet(agents []int, phi *bitset.Set) *bitset.Set {
+	out := bitset.NewFull(m.numWorlds)
+	for _, a := range agents {
+		out.And(m.knowSet(a, phi))
+	}
+	return out
+}
+
+// CommonSet computes C_G applied to an already-evaluated world set.
+func (m *Model) CommonSet(agents []int, phi *bitset.Set) *bitset.Set {
+	return m.commonSet(agents, phi)
+}
+
+// GReachIDs returns dense component ids for the G-reachability relation of
+// Section 6 (the transitive closure of the union of the G partitions). Two
+// worlds are G-reachable from one another iff they share an id.
+func (m *Model) GReachIDs(g logic.Group) ([]int, error) {
+	agents, err := m.resolveGroup(g)
+	if err != nil {
+		return nil, err
+	}
+	return m.reachIDs(agents), nil
+}
+
+// knowSet computes K_a applied to the world set phi: the worlds whose whole
+// partition class for agent a lies inside phi.
+func (m *Model) knowSet(a int, phi *bitset.Set) *bitset.Set {
+	m.ensureClasses()
+	ids := m.classes[a]
+	allTrue := make([]bool, m.nclass[a])
+	for i := range allTrue {
+		allTrue[i] = true
+	}
+	for w := 0; w < m.numWorlds; w++ {
+		if !phi.Contains(w) {
+			allTrue[ids[w]] = false
+		}
+	}
+	out := bitset.New(m.numWorlds)
+	for w := 0; w < m.numWorlds; w++ {
+		if allTrue[ids[w]] {
+			out.Add(w)
+		}
+	}
+	return out
+}
+
+// distSet computes D_G: knowledge under the joint view, i.e. the common
+// refinement of the agents' partitions.
+func (m *Model) distSet(agents []int, phi *bitset.Set) *bitset.Set {
+	m.ensureClasses()
+	if len(agents) == 0 {
+		return phi.Clone()
+	}
+	ids := make([]int, m.numWorlds)
+	copy(ids, m.classes[agents[0]])
+	n := m.nclass[agents[0]]
+	for _, a := range agents[1:] {
+		pair := make(map[[2]int]int, n)
+		next := make([]int, m.numWorlds)
+		for w := 0; w < m.numWorlds; w++ {
+			key := [2]int{ids[w], m.classes[a][w]}
+			id, ok := pair[key]
+			if !ok {
+				id = len(pair)
+				pair[key] = id
+			}
+			next[w] = id
+		}
+		ids = next
+		n = len(pair)
+	}
+	allTrue := make([]bool, n)
+	for i := range allTrue {
+		allTrue[i] = true
+	}
+	for w := 0; w < m.numWorlds; w++ {
+		if !phi.Contains(w) {
+			allTrue[ids[w]] = false
+		}
+	}
+	out := bitset.New(m.numWorlds)
+	for w := 0; w < m.numWorlds; w++ {
+		if allTrue[ids[w]] {
+			out.Add(w)
+		}
+	}
+	return out
+}
+
+// reachIDs returns dense component ids of the union of the G partitions:
+// the G-reachability components of Section 6.
+func (m *Model) reachIDs(agents []int) []int {
+	m.ensureClasses()
+	d := unionfind.New(m.numWorlds)
+	for _, a := range agents {
+		// Union each world with a representative of its class.
+		rep := make(map[int]int, m.nclass[a])
+		for w := 0; w < m.numWorlds; w++ {
+			id := m.classes[a][w]
+			if r, ok := rep[id]; ok {
+				d.Union(r, w)
+			} else {
+				rep[id] = w
+			}
+		}
+	}
+	return d.CompIDs()
+}
+
+// commonSet computes C_G applied to phi: worlds whose whole G-reachability
+// component satisfies phi.
+func (m *Model) commonSet(agents []int, phi *bitset.Set) *bitset.Set {
+	if len(agents) == 0 {
+		return phi.Clone()
+	}
+	ids := m.reachIDs(agents)
+	max := 0
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	allTrue := make([]bool, max+1)
+	for i := range allTrue {
+		allTrue[i] = true
+	}
+	for w := 0; w < m.numWorlds; w++ {
+		if !phi.Contains(w) {
+			allTrue[ids[w]] = false
+		}
+	}
+	out := bitset.New(m.numWorlds)
+	for w := 0; w < m.numWorlds; w++ {
+		if allTrue[ids[w]] {
+			out.Add(w)
+		}
+	}
+	return out
+}
+
+// RefineAgent returns a new model, over the same worlds, in which agent a's
+// partition is refined by membership in phi: two worlds remain
+// indistinguishable to a only if they were before and phi agrees on them.
+// This models a private announcement of φ to agent a — the father taking
+// one child aside in Section 3: the child learns whether φ, while the other
+// children's knowledge (and the group's common knowledge) is unchanged.
+func (m *Model) RefineAgent(a int, phi *bitset.Set) *Model {
+	out := NewModel(m.numWorlds, m.numAgents)
+	for w := 0; w < m.numWorlds; w++ {
+		if m.names[w] != "" {
+			out.SetName(w, m.names[w])
+		}
+	}
+	for prop, set := range m.valuation {
+		set.ForEach(func(w int) bool {
+			out.SetTrue(w, prop)
+			return true
+		})
+	}
+	for b := 0; b < m.numAgents; b++ {
+		for _, group := range m.dsu[b].Groups() {
+			if b != a {
+				for i := 1; i < len(group); i++ {
+					out.Indistinguishable(b, group[0], group[i])
+				}
+				continue
+			}
+			// Split the class by phi.
+			var in, outOf []int
+			for _, w := range group {
+				if phi.Contains(w) {
+					in = append(in, w)
+				} else {
+					outOf = append(outOf, w)
+				}
+			}
+			for i := 1; i < len(in); i++ {
+				out.Indistinguishable(a, in[0], in[i])
+			}
+			for i := 1; i < len(outOf); i++ {
+				out.Indistinguishable(a, outOf[0], outOf[i])
+			}
+		}
+	}
+	return out
+}
+
+// Restrict returns the submodel induced by the given world set (a public
+// announcement of "the actual world is in keep"). World w of the new model
+// is the i-th element of keep in increasing order. Ground facts and
+// indistinguishability are inherited. The Temporal hook is not carried over,
+// since run/time structure generally does not survive restriction.
+func (m *Model) Restrict(keep *bitset.Set) *Model {
+	old := keep.Elements()
+	sub := NewModel(len(old), m.numAgents)
+	newIdx := make(map[int]int, len(old))
+	for i, w := range old {
+		newIdx[w] = i
+		if m.names[w] != "" {
+			sub.SetName(i, m.names[w])
+		}
+	}
+	for prop, set := range m.valuation {
+		set.ForEach(func(w int) bool {
+			if i, ok := newIdx[w]; ok {
+				sub.SetTrue(i, prop)
+			}
+			return true
+		})
+	}
+	m.ensureClasses()
+	for a := 0; a < m.numAgents; a++ {
+		// Union surviving worlds that shared a class.
+		rep := make(map[int]int)
+		for _, w := range old {
+			id := m.classes[a][w]
+			if r, ok := rep[id]; ok {
+				sub.Indistinguishable(a, newIdx[r], newIdx[w])
+			} else {
+				rep[id] = w
+			}
+		}
+	}
+	return sub
+}

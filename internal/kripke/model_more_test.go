@@ -1,0 +1,163 @@
+package kripke
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+)
+
+func TestSetFactAndFacts(t *testing.T) {
+	m := NewModel(3, 2)
+	if m.NumAgents() != 2 {
+		t.Errorf("NumAgents = %d", m.NumAgents())
+	}
+	m.SetFact(0, "p", true)
+	m.SetFact(1, "p", true)
+	m.SetFact(1, "p", false)
+	m.SetFact(2, "q", false) // setting false on an unknown fact is a no-op
+	set := m.FactSet("p")
+	if !set.Contains(0) || set.Contains(1) {
+		t.Errorf("p holds at %s", set)
+	}
+	facts := m.Facts()
+	sort.Strings(facts)
+	if len(facts) != 1 || facts[0] != "p" {
+		t.Errorf("Facts = %v (q was never made true)", facts)
+	}
+	// FactSet returns a copy.
+	set.Add(2)
+	if m.FactSet("p").Contains(2) {
+		t.Error("FactSet exposed internal storage")
+	}
+}
+
+func TestSameClassAndClassID(t *testing.T) {
+	m := NewModel(4, 1)
+	m.Indistinguishable(0, 0, 1)
+	m.Indistinguishable(0, 2, 3)
+	if !m.SameClass(0, 0, 1) || m.SameClass(0, 1, 2) {
+		t.Error("SameClass wrong")
+	}
+	if m.ClassID(0, 0) != m.ClassID(0, 1) {
+		t.Error("class ids of merged worlds differ")
+	}
+	if m.ClassID(0, 0) == m.ClassID(0, 2) {
+		t.Error("class ids of separate worlds coincide")
+	}
+}
+
+func TestSetLevelOperators(t *testing.T) {
+	// KnowSet / EveryoneSet / CommonSet agree with formula evaluation.
+	m := chainModel(6)
+	p, err := m.Eval(logic.P("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0Direct, err := m.Eval(logic.K(0, logic.P("p")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.KnowSet(0, p).Equal(k0Direct) {
+		t.Error("KnowSet disagrees with K0 evaluation")
+	}
+	agents, err := m.GroupAgents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 2 {
+		t.Errorf("GroupAgents(nil) = %v", agents)
+	}
+	eDirect, err := m.Eval(logic.E(nil, logic.P("p")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EveryoneSet(agents, p).Equal(eDirect) {
+		t.Error("EveryoneSet disagrees with E evaluation")
+	}
+	cDirect, err := m.Eval(logic.C(nil, logic.P("p")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CommonSet(agents, p).Equal(cDirect) {
+		t.Error("CommonSet disagrees with C evaluation")
+	}
+}
+
+func TestGReachIDs(t *testing.T) {
+	m := chainModel(6)
+	ids, err := m.GReachIDs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain is fully connected under both agents together.
+	for w := 1; w < 6; w++ {
+		if ids[w] != ids[0] {
+			t.Errorf("world %d in a different component", w)
+		}
+	}
+	// Under agent 0 alone, only the pairs (2i, 2i+1) are joined.
+	ids0, err := m.GReachIDs(logic.NewGroup(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids0[0] != ids0[1] || ids0[1] == ids0[2] {
+		t.Errorf("agent-0 components wrong: %v", ids0)
+	}
+	if _, err := m.GReachIDs(logic.NewGroup(9)); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+}
+
+func TestRefineAgentSemiPublicAnnouncement(t *testing.T) {
+	// RefineAgent models a telling whose OCCURRENCE is commonly known
+	// (only its content is directed at one agent). Worlds: 0 (p), 1 (~p);
+	// both agents confused. Refining agent 0 by p makes agent 0 know
+	// whether p, leaves agent 1 ignorant of p itself — but agent 1 now
+	// knows that agent 0 knows whether p.
+	m := NewModel(2, 2)
+	m.SetTrue(0, "p")
+	m.Indistinguishable(0, 0, 1)
+	m.Indistinguishable(1, 0, 1)
+	m.SetName(0, "yes")
+	m.SetName(1, "no")
+
+	pSet, err := m.Eval(logic.P("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := m.RefineAgent(0, pSet)
+
+	k0, err := refined.Eval(logic.MustParse("K0 p | K0 ~p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k0.IsFull() {
+		t.Error("agent 0 should know whether p after refinement")
+	}
+	k1, err := refined.Eval(logic.MustParse("K1 p | K1 ~p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.IsEmpty() {
+		t.Error("agent 1 should remain ignorant of p")
+	}
+	k1k0, err := refined.Eval(logic.MustParse("K1 (K0 p | K0 ~p)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1k0.IsFull() {
+		t.Error("agent 1 should know that agent 0 knows whether p (the telling is common knowledge)")
+	}
+	// Names and facts survive.
+	if w, ok := refined.WorldByName("yes"); !ok || !refined.FactSet("p").Contains(w) {
+		t.Error("names/facts not preserved by RefineAgent")
+	}
+	// Refining by the empty set collapses nothing new for others.
+	empty := bitset.New(2)
+	r2 := m.RefineAgent(1, empty)
+	if !r2.SameClass(1, 0, 1) {
+		t.Error("refining by the empty set should keep the class together")
+	}
+}

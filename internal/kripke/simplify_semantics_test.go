@@ -1,0 +1,90 @@
+package kripke
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// genStaticFormula generates a random closed formula without temporal
+// operators (which plain Kripke models cannot evaluate), including
+// constants so that simplification has work to do.
+func genStaticFormula(rng *rand.Rand, depth int, agents int, vars []string) logic.Formula {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return logic.P("p")
+		case 1:
+			return logic.P("q")
+		case 2:
+			return logic.Truth{Value: rng.Intn(2) == 0}
+		default:
+			if len(vars) > 0 {
+				return logic.Var{Name: vars[rng.Intn(len(vars))]}
+			}
+			return logic.P("p")
+		}
+	}
+	groups := []logic.Group{nil, logic.NewGroup(0), logic.NewGroup(0, 1)}
+	g := groups[rng.Intn(len(groups))]
+	sub := func() logic.Formula { return genStaticFormula(rng, depth-1, agents, vars) }
+	subNoVars := func() logic.Formula { return genStaticFormula(rng, depth-1, agents, nil) }
+	switch rng.Intn(11) {
+	case 0:
+		return logic.Neg(subNoVars())
+	case 1:
+		return logic.Conj(sub(), sub())
+	case 2:
+		return logic.Disj(sub(), sub())
+	case 3:
+		return logic.Imp(subNoVars(), sub())
+	case 4:
+		return logic.Equiv(subNoVars(), subNoVars())
+	case 5:
+		return logic.K(logic.Agent(rng.Intn(agents)), sub())
+	case 6:
+		return logic.E(g, sub())
+	case 7:
+		return logic.C(g, sub())
+	case 8:
+		return logic.D(g, sub())
+	case 9:
+		return logic.S(g, sub())
+	default:
+		name := string(rune('X' + rng.Intn(2)))
+		inner := genStaticFormula(rng, depth-1, agents, append(append([]string{}, vars...), name))
+		return logic.GFP(name, inner)
+	}
+}
+
+// TestQuickSimplifyPreservesSemantics: Simplify is truth-preserving on
+// random models under the view-based semantics.
+func TestQuickSimplifyPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		agents := 2 + rng.Intn(2)
+		m := randomModel(rng, 2+rng.Intn(20), agents)
+		phi := genStaticFormula(rng, 1+rng.Intn(4), agents, nil)
+		simplified := logic.Simplify(phi)
+		orig, err := m.Eval(phi)
+		if err != nil {
+			t.Logf("eval %s: %v", phi, err)
+			return false
+		}
+		simp, err := m.Eval(simplified)
+		if err != nil {
+			t.Logf("eval simplified %s: %v", simplified, err)
+			return false
+		}
+		if !orig.Equal(simp) {
+			t.Logf("seed %d: %s != %s", seed, phi, simplified)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package logic defines the epistemic language of Halpern & Moses,
+// "Knowledge and Common Knowledge in a Distributed Environment".
+//
+// The language extends propositional logic with knowledge operators for
+// individual agents (K_i), groups (S_G, E_G, E^k_G, D_G, C_G), the temporal
+// variants of Sections 11–12 (E^ε/C^ε, E^⋄/C^⋄, E^T/C^T), linear-time
+// operators ◇ and □, and the fixed-point operators ν and μ of Appendix A.
+//
+// Formulas are immutable trees. Evaluation lives in the kripke and fixpoint
+// packages; this package provides construction, printing, parsing, and the
+// syntactic analyses (free variables, positivity) that the fixed-point
+// semantics requires.
+package logic
+
+import "sort"
+
+// Agent identifies a processor/agent by index (0-based).
+type Agent int
+
+// Group is a set of agents. A nil Group denotes "all agents in the system";
+// the evaluator resolves it against the model. Groups are kept sorted and
+// deduplicated by NewGroup.
+type Group []Agent
+
+// NewGroup returns a sorted, deduplicated group.
+func NewGroup(agents ...Agent) Group {
+	g := make(Group, 0, len(agents))
+	g = append(g, agents...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	out := g[:0]
+	for i, a := range g {
+		if i == 0 || a != g[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the group explicitly contains a. It returns true
+// for the nil ("all agents") group.
+func (g Group) Contains(a Agent) bool {
+	if g == nil {
+		return true
+	}
+	for _, b := range g {
+		if b == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two groups denote the same agent set, treating nil
+// as distinct from any explicit group.
+func (g Group) Equal(h Group) bool {
+	if (g == nil) != (h == nil) {
+		return false
+	}
+	if len(g) != len(h) {
+		return false
+	}
+	for i := range g {
+		if g[i] != h[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Formula is a node in the abstract syntax tree of the epistemic language.
+type Formula interface {
+	// String renders the formula in the concrete syntax accepted by Parse.
+	String() string
+	isFormula()
+}
+
+// Prop is a ground fact about the state of the system (Section 6): its truth
+// at a point is given directly by the assignment π, with no reference to
+// knowledge.
+type Prop struct {
+	Name string
+}
+
+// Truth is a propositional constant: true or false.
+type Truth struct {
+	Value bool
+}
+
+// Var is a propositional variable bound by a fixed-point operator (App. A).
+type Var struct {
+	Name string
+}
+
+// Not is negation.
+type Not struct {
+	F Formula
+}
+
+// And is n-ary conjunction. An empty conjunction is true.
+type And struct {
+	Fs []Formula
+}
+
+// Or is n-ary disjunction. An empty disjunction is false.
+type Or struct {
+	Fs []Formula
+}
+
+// Implies is material implication (the paper's ⊃).
+type Implies struct {
+	Ant, Cons Formula
+}
+
+// Iff is material equivalence.
+type Iff struct {
+	L, R Formula
+}
+
+// Know is K_i φ: agent i knows φ.
+type Know struct {
+	Agent Agent
+	F     Formula
+}
+
+// Someone is S_G φ: some member of G knows φ (⋁_{i∈G} K_i φ).
+type Someone struct {
+	G Group
+	F Formula
+}
+
+// Everyone is E_G φ: every member of G knows φ (⋀_{i∈G} K_i φ).
+type Everyone struct {
+	G Group
+	F Formula
+}
+
+// Dist is D_G φ: φ is distributed knowledge in G.
+type Dist struct {
+	G Group
+	F Formula
+}
+
+// Common is C_G φ: φ is common knowledge in G — the greatest fixed point of
+// X ≡ E_G(φ ∧ X), equivalently ⋀_k E^k_G φ under view-based interpretations.
+type Common struct {
+	G Group
+	F Formula
+}
+
+// EveryEps is E^ε_G φ (Section 11): there is an interval of ε time units
+// containing the current time in which every member of G comes to know φ.
+// Eps is measured in the system's discrete clock ticks.
+type EveryEps struct {
+	G   Group
+	Eps int
+	F   Formula
+}
+
+// CommonEps is C^ε_G φ: ε-common knowledge, the greatest fixed point of
+// X ≡ E^ε_G(φ ∧ X).
+type CommonEps struct {
+	G   Group
+	Eps int
+	F   Formula
+}
+
+// EveryEv is E^⋄_G φ (Section 11): every member of G knows φ at some point
+// of the current run.
+type EveryEv struct {
+	G Group
+	F Formula
+}
+
+// CommonEv is C^⋄_G φ: eventual common knowledge, the greatest fixed point
+// of X ≡ E^⋄_G(φ ∧ X).
+type CommonEv struct {
+	G Group
+	F Formula
+}
+
+// EveryTime is E^T_G φ (Section 12): every member of G knows φ at the point
+// of the current run where its own clock reads T.
+type EveryTime struct {
+	G Group
+	T int
+	F Formula
+}
+
+// CommonTime is C^T_G φ: timestamped common knowledge, the greatest fixed
+// point of X ≡ E^T_G(φ ∧ X).
+type CommonTime struct {
+	G Group
+	T int
+	F Formula
+}
+
+// Eventually is ◇φ: φ holds at some point (r, t') of the current run with
+// t' ≥ t (footnote 7 of the paper).
+type Eventually struct {
+	F Formula
+}
+
+// Always is □φ: φ holds at every point (r, t') of the current run with
+// t' ≥ t.
+type Always struct {
+	F Formula
+}
+
+// Nu is νX.φ: the greatest fixed point of φ viewed as a function of X
+// (Appendix A). All free occurrences of X in φ must be positive.
+type Nu struct {
+	Var  string
+	Body Formula
+}
+
+// Mu is μX.φ: the least fixed point of φ viewed as a function of X.
+type Mu struct {
+	Var  string
+	Body Formula
+}
+
+func (Prop) isFormula()       {}
+func (Truth) isFormula()      {}
+func (Var) isFormula()        {}
+func (Not) isFormula()        {}
+func (And) isFormula()        {}
+func (Or) isFormula()         {}
+func (Implies) isFormula()    {}
+func (Iff) isFormula()        {}
+func (Know) isFormula()       {}
+func (Someone) isFormula()    {}
+func (Everyone) isFormula()   {}
+func (Dist) isFormula()       {}
+func (Common) isFormula()     {}
+func (EveryEps) isFormula()   {}
+func (CommonEps) isFormula()  {}
+func (EveryEv) isFormula()    {}
+func (CommonEv) isFormula()   {}
+func (EveryTime) isFormula()  {}
+func (CommonTime) isFormula() {}
+func (Eventually) isFormula() {}
+func (Always) isFormula()     {}
+func (Nu) isFormula()         {}
+func (Mu) isFormula()         {}
+
+// Convenience constructors. These make test and example code read close to
+// the paper's notation.
+
+// P returns the ground fact with the given name.
+func P(name string) Formula { return Prop{Name: name} }
+
+// True and False are the propositional constants.
+var (
+	True  Formula = Truth{Value: true}
+	False Formula = Truth{Value: false}
+)
+
+// X returns the fixed-point variable with the given name.
+func X(name string) Formula { return Var{Name: name} }
+
+// Neg returns ¬φ.
+func Neg(f Formula) Formula { return Not{F: f} }
+
+// Conj returns the conjunction of fs, flattening nested conjunctions so
+// that And is always in n-ary normal form.
+func Conj(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		if a, ok := f.(And); ok {
+			flat = append(flat, a.Fs...)
+		} else {
+			flat = append(flat, f)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return And{Fs: flat}
+}
+
+// Disj returns the disjunction of fs, flattening nested disjunctions so
+// that Or is always in n-ary normal form.
+func Disj(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		if o, ok := f.(Or); ok {
+			flat = append(flat, o.Fs...)
+		} else {
+			flat = append(flat, f)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Or{Fs: flat}
+}
+
+// Imp returns ant ⊃ cons.
+func Imp(ant, cons Formula) Formula { return Implies{Ant: ant, Cons: cons} }
+
+// Equiv returns l ≡ r.
+func Equiv(l, r Formula) Formula { return Iff{L: l, R: r} }
+
+// K returns K_i φ.
+func K(i Agent, f Formula) Formula { return Know{Agent: i, F: f} }
+
+// S returns S_G φ.
+func S(g Group, f Formula) Formula { return Someone{G: g, F: f} }
+
+// E returns E_G φ.
+func E(g Group, f Formula) Formula { return Everyone{G: g, F: f} }
+
+// EK returns E^k_G φ as k nested E_G operators. EK(g, 0, φ) is φ itself.
+func EK(g Group, k int, f Formula) Formula {
+	for ; k > 0; k-- {
+		f = Everyone{G: g, F: f}
+	}
+	return f
+}
+
+// D returns D_G φ.
+func D(g Group, f Formula) Formula { return Dist{G: g, F: f} }
+
+// C returns C_G φ.
+func C(g Group, f Formula) Formula { return Common{G: g, F: f} }
+
+// Eeps returns E^ε_G φ.
+func Eeps(g Group, eps int, f Formula) Formula { return EveryEps{G: g, Eps: eps, F: f} }
+
+// Ceps returns C^ε_G φ.
+func Ceps(g Group, eps int, f Formula) Formula { return CommonEps{G: g, Eps: eps, F: f} }
+
+// Eev returns E^⋄_G φ.
+func Eev(g Group, f Formula) Formula { return EveryEv{G: g, F: f} }
+
+// Cev returns C^⋄_G φ.
+func Cev(g Group, f Formula) Formula { return CommonEv{G: g, F: f} }
+
+// Et returns E^T_G φ.
+func Et(g Group, ts int, f Formula) Formula { return EveryTime{G: g, T: ts, F: f} }
+
+// Ct returns C^T_G φ.
+func Ct(g Group, ts int, f Formula) Formula { return CommonTime{G: g, T: ts, F: f} }
+
+// Ev returns ◇φ.
+func Ev(f Formula) Formula { return Eventually{F: f} }
+
+// Alw returns □φ.
+func Alw(f Formula) Formula { return Always{F: f} }
+
+// GFP returns νX.body.
+func GFP(x string, body Formula) Formula { return Nu{Var: x, Body: body} }
+
+// LFP returns μX.body.
+func LFP(x string, body Formula) Formula { return Mu{Var: x, Body: body} }

@@ -1,0 +1,145 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Concrete syntax (also accepted by Parse):
+//
+//	p, sent_m        ground facts (lowercase identifier)
+//	true, false      constants
+//	X, Y0            fixed-point variables (uppercase identifier, not a keyword)
+//	~phi             negation
+//	phi & psi        conjunction
+//	phi | psi        disjunction
+//	phi -> psi       implication (right associative)
+//	phi <-> psi      equivalence
+//	K1 phi           K_1 phi (agent index follows K)
+//	S{0,2} phi       S_G phi; omit {..} for "all agents": S phi
+//	E{0,2} phi       E_G phi
+//	E^3{0,2} phi     E^k_G phi (expanded to nested E)
+//	D{0,2} phi       D_G phi
+//	C{0,2} phi       C_G phi
+//	Ee[2]{0,1} phi   E^eps_G phi with eps = 2 ticks
+//	Ce[2] phi        C^eps_G phi
+//	Ev phi, Cv phi   E^<> (eventual), C^<> (eventual common knowledge)
+//	Et[5] phi        E^T phi with timestamp T = 5
+//	Ct[5] phi        C^T phi
+//	<> phi           eventually (temporal)
+//	[] phi           always (temporal)
+//	nu X . phi       greatest fixed point
+//	mu X . phi       least fixed point
+
+// precedence levels, loosest first
+const (
+	precIff = iota
+	precImplies
+	precOr
+	precAnd
+	precUnary
+)
+
+func groupString(g Group) string {
+	if g == nil {
+		return ""
+	}
+	parts := make([]string, len(g))
+	for i, a := range g {
+		parts[i] = strconv.Itoa(int(a))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (f Prop) String() string { return f.Name }
+func (f Truth) String() string {
+	if f.Value {
+		return "true"
+	}
+	return "false"
+}
+func (f Var) String() string { return f.Name }
+func (f Not) String() string { return "~" + paren(f.F, precUnary) }
+
+func joinFormulas(fs []Formula, sep string, prec int, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(fs))
+	for i, c := range fs {
+		parts[i] = paren(c, prec+1)
+	}
+	return strings.Join(parts, sep)
+}
+
+func (f And) String() string { return joinFormulas(f.Fs, " & ", precAnd, "true") }
+func (f Or) String() string  { return joinFormulas(f.Fs, " | ", precOr, "false") }
+func (f Implies) String() string {
+	return paren(f.Ant, precImplies+1) + " -> " + paren(f.Cons, precImplies)
+}
+func (f Iff) String() string {
+	return paren(f.L, precIff+1) + " <-> " + paren(f.R, precIff+1)
+}
+func (f Know) String() string { return fmt.Sprintf("K%d %s", f.Agent, paren(f.F, precUnary)) }
+func (f Someone) String() string {
+	return "S" + groupString(f.G) + " " + paren(f.F, precUnary)
+}
+func (f Everyone) String() string {
+	return "E" + groupString(f.G) + " " + paren(f.F, precUnary)
+}
+func (f Dist) String() string {
+	return "D" + groupString(f.G) + " " + paren(f.F, precUnary)
+}
+func (f Common) String() string {
+	return "C" + groupString(f.G) + " " + paren(f.F, precUnary)
+}
+func (f EveryEps) String() string {
+	return fmt.Sprintf("Ee[%d]%s %s", f.Eps, groupString(f.G), paren(f.F, precUnary))
+}
+func (f CommonEps) String() string {
+	return fmt.Sprintf("Ce[%d]%s %s", f.Eps, groupString(f.G), paren(f.F, precUnary))
+}
+func (f EveryEv) String() string {
+	return "Ev" + groupString(f.G) + " " + paren(f.F, precUnary)
+}
+func (f CommonEv) String() string {
+	return "Cv" + groupString(f.G) + " " + paren(f.F, precUnary)
+}
+func (f EveryTime) String() string {
+	return fmt.Sprintf("Et[%d]%s %s", f.T, groupString(f.G), paren(f.F, precUnary))
+}
+func (f CommonTime) String() string {
+	return fmt.Sprintf("Ct[%d]%s %s", f.T, groupString(f.G), paren(f.F, precUnary))
+}
+func (f Eventually) String() string { return "<> " + paren(f.F, precUnary) }
+func (f Always) String() string     { return "[] " + paren(f.F, precUnary) }
+func (f Nu) String() string         { return "nu " + f.Var + " . " + f.Body.String() }
+func (f Mu) String() string         { return "mu " + f.Var + " . " + f.Body.String() }
+
+// precOf returns the precedence of the top-level connective of f.
+func precOf(f Formula) int {
+	switch f.(type) {
+	case Iff:
+		return precIff
+	case Implies:
+		return precImplies
+	case Or:
+		return precOr
+	case And:
+		return precAnd
+	case Nu, Mu:
+		return precIff // binders extend as far right as possible
+	default:
+		return precUnary
+	}
+}
+
+// paren renders f, adding parentheses if its top-level connective binds
+// looser than the context requires.
+func paren(f Formula, context int) string {
+	if precOf(f) < context {
+		return "(" + f.String() + ")"
+	}
+	return f.String()
+}

@@ -1,0 +1,225 @@
+package logic
+
+// Simplify returns a logically equivalent formula with constants folded,
+// double negations removed, and n-ary connectives flattened and
+// deduplicated. Equivalence is with respect to the view-based (S5)
+// semantics: in particular K_i, S_G, E_G, D_G and C_G of a constant are
+// that constant (knowledge is reflexive and closed under necessitation),
+// and likewise for E^ε/C^ε, E^⋄/C^⋄, ◇ and □. The timestamped operators
+// E^T/C^T are NOT constant-folded on true: "at time T on its clock" may
+// never happen, so E^T true is not valid; E^T false is still false (it
+// requires knowing false somewhere).
+//
+// Fixed-point subformulas are simplified in their bodies; νX.X and μX.X
+// fold to true and false respectively.
+func Simplify(f Formula) Formula {
+	switch n := f.(type) {
+	case Prop, Truth, Var:
+		return f
+
+	case Not:
+		inner := Simplify(n.F)
+		switch i := inner.(type) {
+		case Truth:
+			return Truth{Value: !i.Value}
+		case Not:
+			return i.F
+		}
+		return Not{F: inner}
+
+	case And:
+		return simplifyNary(n.Fs, true)
+
+	case Or:
+		return simplifyNary(n.Fs, false)
+
+	case Implies:
+		ant := Simplify(n.Ant)
+		cons := Simplify(n.Cons)
+		if t, ok := ant.(Truth); ok {
+			if t.Value {
+				return cons
+			}
+			return True
+		}
+		if t, ok := cons.(Truth); ok {
+			if t.Value {
+				return True
+			}
+			return Simplify(Not{F: ant})
+		}
+		if Equal(ant, cons) {
+			return True
+		}
+		return Implies{Ant: ant, Cons: cons}
+
+	case Iff:
+		l := Simplify(n.L)
+		r := Simplify(n.R)
+		if t, ok := l.(Truth); ok {
+			if t.Value {
+				return r
+			}
+			return Simplify(Not{F: r})
+		}
+		if t, ok := r.(Truth); ok {
+			if t.Value {
+				return l
+			}
+			return Simplify(Not{F: l})
+		}
+		if Equal(l, r) {
+			return True
+		}
+		return Iff{L: l, R: r}
+
+	case Know:
+		return foldConstant(Know{Agent: n.Agent, F: Simplify(n.F)}, true, true)
+	case Someone:
+		return foldConstant(Someone{G: n.G, F: Simplify(n.F)}, true, true)
+	case Everyone:
+		return foldConstant(Everyone{G: n.G, F: Simplify(n.F)}, true, true)
+	case Dist:
+		return foldConstant(Dist{G: n.G, F: Simplify(n.F)}, true, true)
+	case Common:
+		return foldConstant(Common{G: n.G, F: Simplify(n.F)}, true, true)
+	case EveryEps:
+		return foldConstant(EveryEps{G: n.G, Eps: n.Eps, F: Simplify(n.F)}, true, true)
+	case CommonEps:
+		return foldConstant(CommonEps{G: n.G, Eps: n.Eps, F: Simplify(n.F)}, true, true)
+	case EveryEv:
+		return foldConstant(EveryEv{G: n.G, F: Simplify(n.F)}, true, true)
+	case CommonEv:
+		return foldConstant(CommonEv{G: n.G, F: Simplify(n.F)}, true, true)
+	case EveryTime:
+		// E^T true is not valid (the clock may never read T), but E^T
+		// false is false.
+		return foldConstant(EveryTime{G: n.G, T: n.T, F: Simplify(n.F)}, false, true)
+	case CommonTime:
+		return foldConstant(CommonTime{G: n.G, T: n.T, F: Simplify(n.F)}, false, true)
+	case Eventually:
+		return foldConstant(Eventually{F: Simplify(n.F)}, true, true)
+	case Always:
+		return foldConstant(Always{F: Simplify(n.F)}, true, true)
+
+	case Nu:
+		body := Simplify(n.Body)
+		if v, ok := body.(Var); ok && v.Name == n.Var {
+			return True // νX.X is everything
+		}
+		if !FreeVars(body)[n.Var] {
+			return body // the binder is vacuous
+		}
+		return Nu{Var: n.Var, Body: body}
+
+	case Mu:
+		body := Simplify(n.Body)
+		if v, ok := body.(Var); ok && v.Name == n.Var {
+			return False // μX.X is nothing
+		}
+		if !FreeVars(body)[n.Var] {
+			return body
+		}
+		return Mu{Var: n.Var, Body: body}
+	}
+	return f
+}
+
+// foldConstant replaces a unary modal application to a constant by the
+// constant itself when that folding is sound (foldTrue for op(true) = true,
+// foldFalse for op(false) = false).
+func foldConstant(f Formula, foldTrue, foldFalse bool) Formula {
+	var arg Formula
+	switch n := f.(type) {
+	case Know:
+		arg = n.F
+	case Someone:
+		arg = n.F
+	case Everyone:
+		arg = n.F
+	case Dist:
+		arg = n.F
+	case Common:
+		arg = n.F
+	case EveryEps:
+		arg = n.F
+	case CommonEps:
+		arg = n.F
+	case EveryEv:
+		arg = n.F
+	case CommonEv:
+		arg = n.F
+	case EveryTime:
+		arg = n.F
+	case CommonTime:
+		arg = n.F
+	case Eventually:
+		arg = n.F
+	case Always:
+		arg = n.F
+	default:
+		return f
+	}
+	if t, ok := arg.(Truth); ok {
+		if t.Value && foldTrue {
+			return True
+		}
+		if !t.Value && foldFalse {
+			return False
+		}
+	}
+	return f
+}
+
+// simplifyNary simplifies a conjunction (isAnd) or disjunction: children
+// are simplified, nested connectives of the same kind flattened, identity
+// elements dropped, absorbing elements short-circuit, and duplicates
+// removed.
+func simplifyNary(fs []Formula, isAnd bool) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, c := range fs {
+		s := Simplify(c)
+		if t, ok := s.(Truth); ok {
+			if t.Value == isAnd {
+				continue // identity element
+			}
+			return Truth{Value: !isAnd} // absorbing element
+		}
+		if isAnd {
+			if a, ok := s.(And); ok {
+				flat = append(flat, a.Fs...)
+				continue
+			}
+		} else {
+			if o, ok := s.(Or); ok {
+				flat = append(flat, o.Fs...)
+				continue
+			}
+		}
+		flat = append(flat, s)
+	}
+	// Deduplicate, preserving order (quadratic; formulas are small).
+	out := flat[:0]
+	for _, c := range flat {
+		dup := false
+		for _, prev := range out {
+			if Equal(prev, c) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Truth{Value: isAnd}
+	case 1:
+		return out[0]
+	}
+	if isAnd {
+		return And{Fs: out}
+	}
+	return Or{Fs: out}
+}

@@ -1,0 +1,113 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyBasics(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"~~m", "m"},
+		{"~true", "false"},
+		{"~~~m", "~m"},
+		{"m & true", "m"},
+		{"m & false", "false"},
+		{"m | false", "m"},
+		{"m | true", "true"},
+		{"m & m", "m"},
+		{"m | m | p", "m | p"},
+		{"(m & p) & q", "m & p & q"},
+		{"true -> m", "m"},
+		{"false -> m", "true"},
+		{"m -> true", "true"},
+		{"m -> false", "~m"},
+		{"m -> m", "true"},
+		{"m <-> true", "m"},
+		{"m <-> false", "~m"},
+		{"m <-> m", "true"},
+		{"K0 true", "true"},
+		{"K0 false", "false"},
+		{"E true", "true"},
+		{"C{0,1} true", "true"},
+		{"D false", "false"},
+		{"S true", "true"},
+		{"Ee[2] true", "true"},
+		{"Cv false", "false"},
+		{"<> true", "true"},
+		{"[] false", "false"},
+		{"nu X . X", "true"},
+		{"mu X . X", "false"},
+		{"nu X . m", "m"}, // vacuous binder
+		{"K0 (m & true)", "K0 m"},
+		{"C (false | sent)", "C sent"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got := Simplify(MustParse(tt.in))
+			want := MustParse(tt.want)
+			if !Equal(got, want) {
+				t.Errorf("Simplify(%q) = %s, want %s", tt.in, got, want)
+			}
+		})
+	}
+}
+
+func TestSimplifyKeepsTimestampedTrue(t *testing.T) {
+	// E^T true is not valid: the clock may never read T.
+	for _, src := range []string{"Et[3] true", "Ct[3] true"} {
+		got := Simplify(MustParse(src))
+		if Equal(got, True) {
+			t.Errorf("Simplify(%q) folded to true; that is unsound", src)
+		}
+	}
+	// But E^T false is false.
+	if got := Simplify(MustParse("Et[3] false")); !Equal(got, False) {
+		t.Errorf("Simplify(Et[3] false) = %s, want false", got)
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := genFormula(rng, 1+rng.Intn(5), nil)
+		once := Simplify(orig)
+		twice := Simplify(once)
+		return Equal(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyPreservesWellFormedness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := genFormula(rng, 1+rng.Intn(5), nil)
+		return WellFormed(Simplify(orig)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := genFormula(rng, 1+rng.Intn(5), nil)
+		return Size(Simplify(orig)) <= Size(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	f := MustParse("K0 (m & true & (p | false)) & C{0,1} (~~sent & (q -> q))")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Simplify(f)
+	}
+}

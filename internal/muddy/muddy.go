@@ -1,0 +1,334 @@
+// Package muddy implements the muddy children puzzle of Section 2 of
+// Halpern & Moses, the paper's opening example of the difference between
+// E^k-knowledge and common knowledge.
+//
+// The epistemic model is the standard one: with n children, the worlds are
+// the 2^n muddiness assignments; child i cannot distinguish two worlds that
+// differ only in its own bit (it sees every forehead but its own). The
+// father's public announcement of m ("at least one of you is muddy") is a
+// public-announcement update (model restriction); each round of
+// simultaneous answers to "do you know whether you are muddy?" is likewise
+// a public announcement of the full answer vector.
+//
+// The package reproduces the puzzle's quantitative behaviour: with the
+// announcement, the muddy children first answer "yes" in round k (k = number
+// of muddy children) after k−1 rounds of unanimous "no"; without it — or
+// with only private announcements when k ≥ 2 — they never do.
+package muddy
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"repro/internal/bitset"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+// Puzzle is a muddy children instance: the current epistemic model plus the
+// actual world (the true muddiness assignment).
+type Puzzle struct {
+	n          int
+	actual     int // bitmask: bit i set iff child i is muddy
+	actualName string
+	model      *kripke.Model
+}
+
+// MuddyProp returns the ground-fact name for "child i is muddy".
+func MuddyProp(i int) string { return "muddy" + strconv.Itoa(i) }
+
+// MProp is the ground fact m: "at least one child is muddy".
+const MProp = "m"
+
+// New creates a puzzle with n children, the listed ones muddy.
+func New(n int, muddy []int) (*Puzzle, error) {
+	if n < 1 || n > 20 {
+		return nil, fmt.Errorf("muddy: n = %d out of supported range [1, 20]", n)
+	}
+	actual := 0
+	for _, c := range muddy {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("muddy: child %d out of range [0, %d)", c, n)
+		}
+		actual |= 1 << c
+	}
+	worlds := 1 << n
+	m := kripke.NewModel(worlds, n)
+	for w := 0; w < worlds; w++ {
+		m.SetName(w, strconv.Itoa(w))
+		if w != 0 {
+			m.SetTrue(w, MProp)
+		}
+		for i := 0; i < n; i++ {
+			if w&(1<<i) != 0 {
+				m.SetTrue(w, MuddyProp(i))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for w := 0; w < worlds; w++ {
+			if w&(1<<i) == 0 {
+				m.Indistinguishable(i, w, w|(1<<i))
+			}
+		}
+	}
+	return &Puzzle{n: n, actual: actual, actualName: strconv.Itoa(actual), model: m}, nil
+}
+
+// N returns the number of children.
+func (p *Puzzle) N() int { return p.n }
+
+// NumMuddy returns the number of muddy children k.
+func (p *Puzzle) NumMuddy() int { return bits.OnesCount(uint(p.actual)) }
+
+// Model returns the current epistemic model (shared, do not mutate).
+func (p *Puzzle) Model() *kripke.Model { return p.model }
+
+// ActualWorld returns the index of the actual world in the current model.
+func (p *Puzzle) ActualWorld() (int, error) {
+	w, ok := p.model.WorldByName(p.actualName)
+	if !ok {
+		return 0, fmt.Errorf("muddy: actual world eliminated — inconsistent update")
+	}
+	return w, nil
+}
+
+// HoldsNow reports whether f holds at the actual world of the current model.
+func (p *Puzzle) HoldsNow(f logic.Formula) (bool, error) {
+	w, err := p.ActualWorld()
+	if err != nil {
+		return false, err
+	}
+	return p.model.Holds(f, w)
+}
+
+// FatherAnnounces performs the father's public announcement of m. It fails
+// if m is false at the actual world (the father only announces truths).
+func (p *Puzzle) FatherAnnounces() error {
+	if p.actual == 0 {
+		return fmt.Errorf("muddy: father cannot truthfully announce m with no muddy children")
+	}
+	next, err := p.model.Announce(logic.P(MProp))
+	if err != nil {
+		return err
+	}
+	p.model = next
+	return nil
+}
+
+// FatherTellsPrivately gives each child, privately and unobserved by the
+// others, the information m — the Clark–Marshall copresence contrast of
+// Section 3. The tellings are secret: no child knows whether any other
+// child was told. The epistemic model therefore expands to worlds
+// (muddiness, told-set): the told-set ranges over all subsets the father
+// could truthfully have informed (every subset when m holds, only the empty
+// set when it does not), and child i's view consists of the foreheads it
+// sees plus its own told bit. It must be called on a fresh puzzle (before
+// any announcement or round). Supported for n <= 8 (the model has up to
+// 4^n worlds).
+func (p *Puzzle) FatherTellsPrivately() error {
+	if p.actual == 0 {
+		return fmt.Errorf("muddy: father cannot truthfully tell m with no muddy children")
+	}
+	if p.n > 8 {
+		return fmt.Errorf("muddy: private announcements supported for n <= 8, got %d", p.n)
+	}
+	if p.model.NumWorlds() != 1<<p.n {
+		return fmt.Errorf("muddy: private announcement requires a fresh puzzle")
+	}
+	nWorlds := 0
+	type world struct{ mask, told int }
+	var ws []world
+	for mask := 0; mask < 1<<p.n; mask++ {
+		for told := 0; told < 1<<p.n; told++ {
+			if mask == 0 && told != 0 {
+				continue // the father cannot truthfully tell m
+			}
+			ws = append(ws, world{mask: mask, told: told})
+			nWorlds++
+		}
+	}
+	m := kripke.NewModel(nWorlds, p.n)
+	for w, ww := range ws {
+		m.SetName(w, fmt.Sprintf("%d@%d", ww.mask, ww.told))
+		if ww.mask != 0 {
+			m.SetTrue(w, MProp)
+		}
+		for i := 0; i < p.n; i++ {
+			if ww.mask&(1<<i) != 0 {
+				m.SetTrue(w, MuddyProp(i))
+			}
+		}
+	}
+	// Child i's view: the foreheads of the others plus its own told bit
+	// (and the content m if told, which the world structure encodes: a
+	// told child inhabits only m-worlds).
+	for i := 0; i < p.n; i++ {
+		first := make(map[[2]int]int)
+		for w, ww := range ws {
+			key := [2]int{ww.mask &^ (1 << i), ww.told & (1 << i)}
+			if prev, ok := first[key]; ok {
+				m.Indistinguishable(i, prev, w)
+			} else {
+				first[key] = w
+			}
+		}
+	}
+	p.model = m
+	p.actualName = fmt.Sprintf("%d@%d", p.actual, (1<<p.n)-1)
+	return nil
+}
+
+// knowsOwnState returns the set of worlds at which child i knows whether it
+// is muddy: K_i muddy_i ∨ K_i ¬muddy_i.
+func (p *Puzzle) knowsOwnState(i int) (*bitset.Set, error) {
+	mi := logic.P(MuddyProp(i))
+	return p.model.Eval(logic.Disj(logic.K(logic.Agent(i), mi), logic.K(logic.Agent(i), logic.Neg(mi))))
+}
+
+// RoundResult records one round of simultaneous answers.
+type RoundResult struct {
+	// Yes[i] is true iff child i answered "yes, I can prove whether my
+	// forehead is muddy".
+	Yes []bool
+}
+
+// AnyYes reports whether any child answered yes.
+func (r RoundResult) AnyYes() bool {
+	for _, y := range r.Yes {
+		if y {
+			return true
+		}
+	}
+	return false
+}
+
+// Round asks every child simultaneously "can you prove whether you are
+// muddy?", collects the answers at the actual world, and updates the model
+// with the public announcement of the full answer vector.
+func (p *Puzzle) Round() (RoundResult, error) {
+	actual, err := p.ActualWorld()
+	if err != nil {
+		return RoundResult{}, err
+	}
+	// knowSets[i] = worlds where child i would answer yes.
+	knowSets := make([]*bitset.Set, p.n)
+	for i := 0; i < p.n; i++ {
+		s, err := p.knowsOwnState(i)
+		if err != nil {
+			return RoundResult{}, err
+		}
+		knowSets[i] = s
+	}
+	res := RoundResult{Yes: make([]bool, p.n)}
+	for i := 0; i < p.n; i++ {
+		res.Yes[i] = knowSets[i].Contains(actual)
+	}
+	// Public announcement of the answer vector: keep the worlds whose
+	// hypothetical answers match the actual ones.
+	keep := bitset.NewFull(p.model.NumWorlds())
+	for i := 0; i < p.n; i++ {
+		if res.Yes[i] {
+			keep.And(knowSets[i])
+		} else {
+			keep.AndNot(knowSets[i])
+		}
+	}
+	p.model = p.model.Restrict(keep)
+	return res, nil
+}
+
+// SimResult summarizes a full simulation.
+type SimResult struct {
+	N, K int
+	// FirstYesRound is the 1-based round at which some child first
+	// answered yes, or 0 if none did within the round budget.
+	FirstYesRound int
+	// YesAreMuddy reports whether the first yes-sayers are exactly the
+	// muddy children.
+	YesAreMuddy bool
+	Rounds      []RoundResult
+}
+
+// AnnouncementMode selects how the father communicates m.
+type AnnouncementMode int
+
+// Announcement modes.
+const (
+	// NoAnnouncement: the father says nothing.
+	NoAnnouncement AnnouncementMode = iota + 1
+	// PublicAnnouncement: the father publicly announces m (the puzzle).
+	PublicAnnouncement
+	// PrivateAnnouncement: the father tells each child m privately.
+	PrivateAnnouncement
+)
+
+// Simulate runs the puzzle with n children, the listed ones muddy, under
+// the given announcement mode, for at most maxRounds rounds.
+func Simulate(n int, muddy []int, mode AnnouncementMode, maxRounds int) (SimResult, error) {
+	p, err := New(n, muddy)
+	if err != nil {
+		return SimResult{}, err
+	}
+	switch mode {
+	case NoAnnouncement:
+	case PublicAnnouncement:
+		if err := p.FatherAnnounces(); err != nil {
+			return SimResult{}, err
+		}
+	case PrivateAnnouncement:
+		if err := p.FatherTellsPrivately(); err != nil {
+			return SimResult{}, err
+		}
+	default:
+		return SimResult{}, fmt.Errorf("muddy: unknown announcement mode %d", mode)
+	}
+
+	res := SimResult{N: n, K: p.NumMuddy()}
+	for round := 1; round <= maxRounds; round++ {
+		r, err := p.Round()
+		if err != nil {
+			return res, err
+		}
+		res.Rounds = append(res.Rounds, r)
+		if r.AnyYes() {
+			res.FirstYesRound = round
+			res.YesAreMuddy = true
+			for i := 0; i < n; i++ {
+				if r.Yes[i] != (p.actual&(1<<i) != 0) {
+					res.YesAreMuddy = false
+				}
+			}
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// ELevel returns the largest j <= maxK such that E^j m holds at the actual
+// world of the current model (0 if even E^1 m fails).
+func (p *Puzzle) ELevel(maxK int) (int, error) {
+	actual, err := p.ActualWorld()
+	if err != nil {
+		return 0, err
+	}
+	sets, err := p.model.EKPrefix(nil, logic.P(MProp), maxK)
+	if err != nil {
+		return 0, err
+	}
+	level := 0
+	for j, s := range sets {
+		if s.Contains(actual) {
+			level = j + 1
+		} else {
+			break
+		}
+	}
+	return level, nil
+}
+
+// CommonKnowledgeOfM reports whether C m holds at the actual world.
+func (p *Puzzle) CommonKnowledgeOfM() (bool, error) {
+	return p.HoldsNow(logic.C(nil, logic.P(MProp)))
+}

@@ -1,0 +1,367 @@
+// Package protocol implements Section 5's notion of a protocol — a
+// deterministic function from local histories to messages — together with
+// channel (adversary) models and exhaustive generation of the system of all
+// possible runs of a joint protocol up to a finite horizon.
+//
+// The channel models correspond to the communication assumptions the paper
+// analyzes:
+//
+//   - Reliable: fixed, known delivery time.
+//   - BoundedDelay: delivery within [minDelay, maxDelay] — the R2–D2
+//     situation of Section 8 and the broadcast channels of Section 11.
+//   - Unreliable: messages may be lost — "communication is not guaranteed"
+//     (conditions NG1 and NG2 of Section 8).
+//   - Async: delivery guaranteed but with unbounded delay, truncated at the
+//     horizon — "unbounded message delivery times" (NG1′ and NG2).
+//
+// The package also provides machine checkers for the NG1/NG2/NG1′
+// conditions and for the run-extension relation of Section 5.
+package protocol
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/runs"
+)
+
+// ReceivedMsg is a delivered message as it appears in a local history.
+type ReceivedMsg struct {
+	From    int
+	Payload string
+	// Clock is the receiver's clock reading at delivery; meaningful only
+	// if the receiver has a clock.
+	Clock    int
+	HasClock bool
+}
+
+// SentMsg is a sent message as it appears in a local history.
+type SentMsg struct {
+	To       int
+	Payload  string
+	Clock    int
+	HasClock bool
+}
+
+// LocalView is the information a protocol may base its actions on: exactly
+// the local history h(p, r, t) of Section 5 (initial state, ordered messages
+// sent and received strictly before now, and the clock reading if the
+// processor has a clock). It deliberately excludes real time, other
+// processors' states, and undelivered-message outcomes.
+type LocalView struct {
+	Me       int
+	Init     string
+	Clock    int
+	HasClock bool
+	// Events interleaves sends and receives in the order observed.
+	Received []ReceivedMsg
+	Sent     []SentMsg
+}
+
+// Outgoing is a message a protocol asks to send now.
+type Outgoing struct {
+	To      int
+	Payload string
+}
+
+// Protocol decides, deterministically from the local view, which messages
+// to send at the current instant.
+type Protocol interface {
+	Step(v LocalView) []Outgoing
+}
+
+// Func adapts a function to the Protocol interface.
+type Func func(v LocalView) []Outgoing
+
+// Step implements Protocol.
+func (f Func) Step(v LocalView) []Outgoing { return f(v) }
+
+// Silent is the protocol that never sends anything.
+var Silent Protocol = Func(func(LocalView) []Outgoing { return nil })
+
+// Channel models the communication medium: the possible delivery times of a
+// message sent at a given time. Returning runs.Lost as an option means the
+// message may never be delivered (within the horizon).
+type Channel interface {
+	// Options returns the possible receive times (absolute) of a message
+	// sent from one processor to another at time t, given the horizon.
+	// Times beyond the horizon must be reported as runs.Lost.
+	Options(from, to int, t, horizon runs.Time) []runs.Time
+	// Name identifies the channel model in experiment output.
+	Name() string
+}
+
+// Reliable delivers every message after exactly Delay ticks.
+type Reliable struct {
+	Delay runs.Time
+}
+
+// Options implements Channel.
+func (c Reliable) Options(_, _ int, t, horizon runs.Time) []runs.Time {
+	at := t + c.Delay
+	if at > horizon {
+		return []runs.Time{runs.Lost}
+	}
+	return []runs.Time{at}
+}
+
+// Name implements Channel.
+func (c Reliable) Name() string { return fmt.Sprintf("reliable(delay=%d)", c.Delay) }
+
+// BoundedDelay delivers every message after between Min and Max ticks —
+// guaranteed delivery with uncertain timing.
+type BoundedDelay struct {
+	Min, Max runs.Time
+}
+
+// Options implements Channel.
+func (c BoundedDelay) Options(_, _ int, t, horizon runs.Time) []runs.Time {
+	var out []runs.Time
+	for d := c.Min; d <= c.Max; d++ {
+		if t+d <= horizon {
+			out = append(out, t+d)
+		} else {
+			out = append(out, runs.Lost)
+			break
+		}
+	}
+	return out
+}
+
+// Name implements Channel.
+func (c BoundedDelay) Name() string { return fmt.Sprintf("bounded(%d..%d)", c.Min, c.Max) }
+
+// Unreliable delivers after exactly Delay ticks or loses the message —
+// "communication is not guaranteed" (Section 8).
+type Unreliable struct {
+	Delay runs.Time
+}
+
+// Options implements Channel.
+func (c Unreliable) Options(_, _ int, t, horizon runs.Time) []runs.Time {
+	at := t + c.Delay
+	if at > horizon {
+		return []runs.Time{runs.Lost}
+	}
+	return []runs.Time{at, runs.Lost}
+}
+
+// Name implements Channel.
+func (c Unreliable) Name() string { return fmt.Sprintf("unreliable(delay=%d)", c.Delay) }
+
+// LossyUntil is unreliable for messages sent at or before Deadline and
+// reliable afterwards. It is the finite-horizon surrogate for an unreliable
+// channel observed forever: every loss the adversary can cause is early
+// enough that the protocol can detect it within the horizon. (On a truly
+// unreliable channel a loss in the final round is noticed by at most one
+// party within any finite observation window, an artifact of truncation
+// rather than of the modeled system.)
+type LossyUntil struct {
+	Delay    runs.Time
+	Deadline runs.Time
+}
+
+// Options implements Channel.
+func (c LossyUntil) Options(_, _ int, t, horizon runs.Time) []runs.Time {
+	at := t + c.Delay
+	if at > horizon {
+		return []runs.Time{runs.Lost}
+	}
+	if t <= c.Deadline {
+		return []runs.Time{at, runs.Lost}
+	}
+	return []runs.Time{at}
+}
+
+// Name implements Channel.
+func (c LossyUntil) Name() string {
+	return fmt.Sprintf("lossy-until(delay=%d,deadline=%d)", c.Delay, c.Deadline)
+}
+
+// Async guarantees delivery eventually but with unbounded delay; within a
+// finite horizon, a message sent at t may arrive at any time in (t, horizon]
+// or after the horizon (reported as Lost). This realizes NG1′ and NG2.
+type Async struct{}
+
+// Options implements Channel.
+func (Async) Options(_, _ int, t, horizon runs.Time) []runs.Time {
+	out := make([]runs.Time, 0, int(horizon-t)+1)
+	for at := t + 1; at <= horizon; at++ {
+		out = append(out, at)
+	}
+	out = append(out, runs.Lost)
+	return out
+}
+
+// Name implements Channel.
+func (Async) Name() string { return "async(unbounded)" }
+
+// Config is one initial configuration: initial states, wake-up times, and
+// clock offsets. A nil Clocks slice means no clocks; otherwise Clocks[p] is
+// the offset of p's (identity-rate) clock from real time.
+type Config struct {
+	Name  string
+	Init  []string
+	Wake  []runs.Time
+	Clock []int
+}
+
+// Options bounds run generation.
+type Options struct {
+	// MaxRuns aborts generation if the run count would exceed it
+	// (defaults to 100000).
+	MaxRuns int
+	// MaxMessagesPerRun stops a run from sending further messages once it
+	// has this many (0 = unlimited). This models a finite protocol budget
+	// and keeps handshake-style protocols finite.
+	MaxMessagesPerRun int
+}
+
+// ViewAt reconstructs the local view of processor p at time t of run r:
+// exactly the information h(p, r, t) exposes. Decision rules layered on top
+// of generated systems (e.g. the generals' attack rules) must be functions
+// of this view to be legitimate protocols.
+func ViewAt(r *runs.Run, p int, t runs.Time) LocalView {
+	return viewOf(r, p, t)
+}
+
+// viewOf reconstructs the local view of processor p at time t from a
+// (possibly partial) run. Only events strictly before t are visible.
+func viewOf(r *runs.Run, p int, t runs.Time) LocalView {
+	v := LocalView{Me: p, Init: r.Init[p]}
+	if c, ok := r.ClockReading(p, t); ok {
+		v.Clock = c
+		v.HasClock = true
+	}
+	type ev struct {
+		at   runs.Time
+		seq  int
+		send bool
+		idx  int
+	}
+	var evs []ev
+	for i, m := range r.Messages {
+		if m.From == p && m.SendTime < t {
+			evs = append(evs, ev{at: m.SendTime, seq: i, send: true, idx: i})
+		}
+		if m.To == p && m.Delivered() && m.RecvTime < t {
+			evs = append(evs, ev{at: m.RecvTime, seq: i, send: false, idx: i})
+		}
+	}
+	// Order by time then by message sequence.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && (evs[j].at < evs[j-1].at || (evs[j].at == evs[j-1].at && evs[j].seq < evs[j-1].seq)); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	for _, e := range evs {
+		m := r.Messages[e.idx]
+		if e.send {
+			sm := SentMsg{To: m.To, Payload: m.Payload}
+			if c, ok := r.ClockReading(p, m.SendTime); ok {
+				sm.Clock, sm.HasClock = c, true
+			}
+			v.Sent = append(v.Sent, sm)
+		} else {
+			rm := ReceivedMsg{From: m.From, Payload: m.Payload}
+			if c, ok := r.ClockReading(p, m.RecvTime); ok {
+				rm.Clock, rm.HasClock = c, true
+			}
+			v.Received = append(v.Received, rm)
+		}
+	}
+	return v
+}
+
+// Generate produces the system of all runs of the joint protocol under the
+// given channel, one tree of runs per initial configuration, observed up to
+// the horizon. Protocols fire at every time step from their wake-up time;
+// branching happens only on channel delivery choices (the protocols are
+// deterministic, as in the paper).
+func Generate(protos []Protocol, ch Channel, cfgs []Config, horizon runs.Time, opt Options) (*runs.System, error) {
+	if opt.MaxRuns == 0 {
+		opt.MaxRuns = 100000
+	}
+	n := len(protos)
+	var complete []*runs.Run
+
+	for _, cfg := range cfgs {
+		base := runs.NewRun(cfg.Name, n, horizon)
+		if len(cfg.Init) > 0 {
+			copy(base.Init, cfg.Init)
+		}
+		if len(cfg.Wake) > 0 {
+			copy(base.Wake, cfg.Wake)
+		}
+		if cfg.Clock != nil {
+			for p := 0; p < n; p++ {
+				base.SetShiftedClock(p, cfg.Clock[p])
+			}
+		}
+		frontier := []*runs.Run{base}
+		for t := runs.Time(0); t <= horizon; t++ {
+			var next []*runs.Run
+			for _, r := range frontier {
+				// Collect this tick's sends across all processors.
+				type send struct {
+					from int
+					out  Outgoing
+				}
+				var sends []send
+				for p := 0; p < n; p++ {
+					if t < r.Wake[p] {
+						continue
+					}
+					if opt.MaxMessagesPerRun > 0 && len(r.Messages) >= opt.MaxMessagesPerRun {
+						break
+					}
+					for _, o := range protos[p].Step(viewOf(r, p, t)) {
+						if o.To < 0 || o.To >= n {
+							return nil, fmt.Errorf("protocol: p%d sends to invalid destination %d", p, o.To)
+						}
+						sends = append(sends, send{from: p, out: o})
+					}
+				}
+				if opt.MaxMessagesPerRun > 0 && len(r.Messages)+len(sends) > opt.MaxMessagesPerRun {
+					sends = sends[:opt.MaxMessagesPerRun-len(r.Messages)]
+				}
+				if len(sends) == 0 {
+					next = append(next, r)
+					continue
+				}
+				// Branch over the cartesian product of delivery options.
+				branches := []*runs.Run{r}
+				for _, s := range sends {
+					opts := ch.Options(s.from, s.out.To, t, horizon)
+					var expanded []*runs.Run
+					for _, b := range branches {
+						for _, at := range opts {
+							nb := b.Clone()
+							if at == runs.Lost {
+								nb.SendLost(s.from, s.out.To, t, s.out.Payload)
+							} else {
+								nb.Send(s.from, s.out.To, t, at, s.out.Payload)
+							}
+							expanded = append(expanded, nb)
+						}
+					}
+					branches = expanded
+					if len(branches)+len(next) > opt.MaxRuns {
+						return nil, fmt.Errorf("protocol: run explosion (> %d runs); lower the horizon or message budget", opt.MaxRuns)
+					}
+				}
+				next = append(next, branches...)
+			}
+			frontier = next
+		}
+		complete = append(complete, frontier...)
+	}
+
+	for i, r := range complete {
+		if r.Name == "" {
+			r.Name = "run"
+		}
+		r.Name = r.Name + "#" + strconv.Itoa(i)
+	}
+	return runs.NewSystem(complete...)
+}

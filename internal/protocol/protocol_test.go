@@ -1,0 +1,555 @@
+package protocol
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// oneShot sends a single message "m" from p0 to p1 at the first instant.
+func oneShot() []Protocol {
+	sender := Func(func(v LocalView) []Outgoing {
+		if len(v.Sent) == 0 {
+			return []Outgoing{{To: 1, Payload: "m"}}
+		}
+		return nil
+	})
+	return []Protocol{sender, Silent}
+}
+
+// handshake returns the two-party handshake of Section 4: p0 initiates, and
+// each party answers a received message with the next message in the chain,
+// as long as the chain is below the budget enforced by MaxMessagesPerRun.
+func handshake() []Protocol {
+	step := func(v LocalView) []Outgoing {
+		peer := 1 - v.Me
+		switch {
+		case v.Me == 0 && len(v.Sent) == 0 && len(v.Received) == 0:
+			return []Outgoing{{To: peer, Payload: "hs1"}}
+		case len(v.Received) > 0:
+			last := v.Received[len(v.Received)-1].Payload
+			n, err := strconv.Atoi(strings.TrimPrefix(last, "hs"))
+			if err != nil {
+				return nil
+			}
+			// Reply once per received message.
+			replies := 0
+			for _, s := range v.Sent {
+				if s.Payload != "hs1" || v.Me != 0 {
+					replies++
+				}
+			}
+			if v.Me == 0 {
+				// p0 sent hs1 plus one reply per received message.
+				if len(v.Sent)-1 < len(v.Received) {
+					return []Outgoing{{To: peer, Payload: "hs" + strconv.Itoa(n+1)}}
+				}
+			} else if len(v.Sent) < len(v.Received) {
+				return []Outgoing{{To: peer, Payload: "hs" + strconv.Itoa(n+1)}}
+			}
+		}
+		return nil
+	}
+	return []Protocol{Func(step), Func(step)}
+}
+
+func twoProcConfig() []Config {
+	return []Config{{Name: "cfg", Init: []string{"", ""}}}
+}
+
+func TestGenerateSilent(t *testing.T) {
+	sys, err := Generate([]Protocol{Silent, Silent}, Unreliable{Delay: 1}, twoProcConfig(), 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) != 1 {
+		t.Fatalf("silent protocols generated %d runs, want 1", len(sys.Runs))
+	}
+	if len(sys.Runs[0].Messages) != 0 {
+		t.Error("silent run has messages")
+	}
+}
+
+func TestGenerateOneShotUnreliable(t *testing.T) {
+	sys, err := Generate(oneShot(), Unreliable{Delay: 1}, twoProcConfig(), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) != 2 {
+		t.Fatalf("one-shot over unreliable channel: %d runs, want 2 (delivered, lost)", len(sys.Runs))
+	}
+	delivered, lost := 0, 0
+	for _, r := range sys.Runs {
+		if len(r.Messages) != 1 {
+			t.Fatalf("run %s has %d messages, want 1", r.Name, len(r.Messages))
+		}
+		if r.Messages[0].Delivered() {
+			delivered++
+			if r.Messages[0].RecvTime != 1 {
+				t.Errorf("delivery at %d, want 1", r.Messages[0].RecvTime)
+			}
+		} else {
+			lost++
+		}
+	}
+	if delivered != 1 || lost != 1 {
+		t.Errorf("delivered=%d lost=%d, want 1/1", delivered, lost)
+	}
+}
+
+func TestGenerateOneShotReliable(t *testing.T) {
+	sys, err := Generate(oneShot(), Reliable{Delay: 2}, twoProcConfig(), 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) != 1 {
+		t.Fatalf("reliable channel: %d runs, want 1", len(sys.Runs))
+	}
+	m := sys.Runs[0].Messages[0]
+	if !m.Delivered() || m.RecvTime != 2 {
+		t.Errorf("message = %+v, want delivery at 2", m)
+	}
+}
+
+func TestGenerateOneShotBoundedDelay(t *testing.T) {
+	sys, err := Generate(oneShot(), BoundedDelay{Min: 1, Max: 3}, twoProcConfig(), 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) != 3 {
+		t.Fatalf("bounded delay 1..3: %d runs, want 3", len(sys.Runs))
+	}
+	seen := map[runs.Time]bool{}
+	for _, r := range sys.Runs {
+		seen[r.Messages[0].RecvTime] = true
+	}
+	for _, want := range []runs.Time{1, 2, 3} {
+		if !seen[want] {
+			t.Errorf("missing delivery time %d", want)
+		}
+	}
+}
+
+func TestGenerateOneShotAsync(t *testing.T) {
+	sys, err := Generate(oneShot(), Async{}, twoProcConfig(), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivery at 1, 2, 3, 4 or beyond the horizon: 5 runs.
+	if len(sys.Runs) != 5 {
+		t.Fatalf("async: %d runs, want 5", len(sys.Runs))
+	}
+}
+
+func TestGenerateHandshakeChain(t *testing.T) {
+	// Handshake over an unreliable channel with a budget of 3 messages:
+	// the runs are exactly "lost at message i" for i = 1..3 plus the
+	// all-delivered run: 4 runs.
+	sys, err := Generate(handshake(), Unreliable{Delay: 1}, twoProcConfig(), 8,
+		Options{MaxMessagesPerRun: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) != 4 {
+		t.Fatalf("handshake budget 3: %d runs, want 4", len(sys.Runs))
+	}
+	counts := map[int]int{} // delivered count -> how many runs
+	for _, r := range sys.Runs {
+		d := 0
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				d++
+			}
+		}
+		counts[d]++
+	}
+	for d := 0; d <= 3; d++ {
+		if counts[d] != 1 {
+			t.Errorf("runs with %d deliveries = %d, want 1 (counts=%v)", d, counts[d], counts)
+		}
+	}
+}
+
+func TestGenerateRunExplosionGuard(t *testing.T) {
+	// A chatty protocol over async channels explodes; the guard must trip.
+	chatty := Func(func(v LocalView) []Outgoing {
+		return []Outgoing{{To: 1 - v.Me, Payload: "x"}}
+	})
+	_, err := Generate([]Protocol{chatty, chatty}, Async{}, twoProcConfig(), 6, Options{MaxRuns: 500})
+	if err == nil {
+		t.Fatal("expected run explosion error")
+	}
+}
+
+func TestGenerateInvalidDestination(t *testing.T) {
+	bad := Func(func(v LocalView) []Outgoing {
+		return []Outgoing{{To: 9, Payload: "x"}}
+	})
+	if _, err := Generate([]Protocol{bad, Silent}, Reliable{Delay: 1}, twoProcConfig(), 2, Options{}); err == nil {
+		t.Fatal("expected invalid destination error")
+	}
+}
+
+func TestViewOfHidesLostMessagesFromReceiver(t *testing.T) {
+	r := runs.NewRun("r", 2, 5)
+	r.SendLost(0, 1, 1, "m")
+	v := viewOf(r, 1, 5)
+	if len(v.Received) != 0 {
+		t.Error("receiver sees a lost message")
+	}
+	v0 := viewOf(r, 0, 5)
+	if len(v0.Sent) != 1 {
+		t.Error("sender should see its own send")
+	}
+}
+
+func TestViewOfClockVisibility(t *testing.T) {
+	r := runs.NewRun("r", 2, 5)
+	v := viewOf(r, 0, 3)
+	if v.HasClock {
+		t.Error("clockless processor reports a clock")
+	}
+	r.SetShiftedClock(0, 10)
+	v = viewOf(r, 0, 3)
+	if !v.HasClock || v.Clock != 13 {
+		t.Errorf("clock view = %+v, want reading 13", v)
+	}
+}
+
+func TestExtendsAndConfigs(t *testing.T) {
+	a := runs.NewRun("a", 2, 5)
+	a.Send(0, 1, 2, 3, "m")
+	b := a.Clone()
+	b.Name = "b"
+	b.Send(1, 0, 4, 5, "late") // differs only after t=3
+	if !Extends(b, a, 3) {
+		t.Error("b should extend (a, 3)")
+	}
+	if Extends(b, a, 5) {
+		t.Error("b should not extend (a, 5): histories diverge at 5")
+	}
+	if !SameInitialConfig(a, b) || !SameClockReadings(a, b) {
+		t.Error("configs should match")
+	}
+	c := runs.NewRun("c", 2, 5)
+	c.Init[0] = "x"
+	if SameInitialConfig(a, c) {
+		t.Error("different initial states accepted")
+	}
+	d := runs.NewRun("d", 2, 5)
+	d.SetIdentityClock(0)
+	if SameClockReadings(a, d) {
+		t.Error("clock presence mismatch accepted")
+	}
+}
+
+func TestNGConditionsOnUnreliableSystem(t *testing.T) {
+	sys, err := Generate(handshake(), Unreliable{Delay: 1}, twoProcConfig(), 6,
+		Options{MaxMessagesPerRun: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckNG1(sys); err != nil {
+		t.Errorf("NG1 should hold for the unreliable handshake system: %v", err)
+	}
+	if err := CheckNG2(sys); err != nil {
+		t.Errorf("NG2 should hold for the unreliable handshake system: %v", err)
+	}
+}
+
+func TestNG1PrimeOnAsyncSystem(t *testing.T) {
+	sys, err := Generate(oneShot(), Async{}, twoProcConfig(), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckNG1Prime(sys); err != nil {
+		t.Errorf("NG1' should hold for the async system: %v", err)
+	}
+	if err := CheckNG2(sys); err != nil {
+		t.Errorf("NG2 should hold for the async system: %v", err)
+	}
+}
+
+func TestNG1FailsOnReliableSystem(t *testing.T) {
+	sys, err := Generate(oneShot(), Reliable{Delay: 1}, twoProcConfig(), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckNG1(sys); err == nil {
+		t.Error("NG1 should fail when communication is guaranteed")
+	}
+}
+
+// interpFor builds the standard interpretation for handshake systems.
+func interpFor() runs.Interpretation {
+	return runs.Interpretation{
+		"sent1": runs.StablyTrue(runs.SentBy("hs1")),
+		"del1":  runs.StablyTrue(runs.ReceivedBy("hs1")),
+		"del2":  runs.StablyTrue(runs.ReceivedBy("hs2")),
+	}
+}
+
+func TestTheorem5OnUnreliableHandshake(t *testing.T) {
+	sys, err := Generate(handshake(), Unreliable{Delay: 1}, twoProcConfig(), 6,
+		Options{MaxMessagesPerRun: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := sys.Model(runs.CompleteHistoryView, interpFor())
+	formulas := []logic.Formula{
+		logic.P("sent1"),
+		logic.P("del1"),
+		logic.P("del2"),
+		logic.True,
+		logic.Neg(logic.P("del1")),
+	}
+	results, err := CheckTheorem5(pm, nil, formulas)
+	if err != nil {
+		t.Fatalf("Theorem 5 violated: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("Theorem 5 check made no comparisons")
+	}
+	// Sanity: C del1 holds nowhere (nothing new becomes common knowledge),
+	// while C true holds everywhere.
+	cDel, err := pm.Eval(logic.MustParse("C del1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cDel.IsEmpty() {
+		t.Errorf("C del1 should be unattainable, got %s", cDel)
+	}
+	cTrue, err := pm.Eval(logic.MustParse("C true"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cTrue.IsFull() {
+		t.Error("C true should hold everywhere")
+	}
+}
+
+func TestTheorem7OnAsyncSystem(t *testing.T) {
+	sys, err := Generate(oneShot(), Async{}, twoProcConfig(), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := sys.Model(runs.CompleteHistoryView, runs.Interpretation{
+		"sent": runs.StablyTrue(runs.SentBy("m")),
+		"del":  runs.StablyTrue(runs.ReceivedBy("m")),
+	})
+	formulas := []logic.Formula{logic.P("sent"), logic.P("del")}
+	if _, err := CheckTheorem5(pm, nil, formulas); err != nil {
+		t.Fatalf("Theorem 7 violated: %v", err)
+	}
+	// The protocol sends m at time 0 in every run, so "sent" is valid in
+	// the system and (consistently with Theorem 7) common knowledge by
+	// community membership. Delivery, however, is never common knowledge.
+	cSent, err := pm.Eval(logic.MustParse("C sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cSent.IsFull() {
+		t.Error("C sent should hold everywhere: sending is valid in the system")
+	}
+	cDel, err := pm.Eval(logic.MustParse("C del"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cDel.IsEmpty() {
+		t.Errorf("C del should be unattainable in the async system, got %s", cDel)
+	}
+}
+
+// handshakeIfGo is the handshake started only when the initiator's initial
+// state is "go": the Section 4 situation where general A's desire to attack
+// is not known in advance.
+func handshakeIfGo() []Protocol {
+	base := handshake()
+	initiator := Func(func(v LocalView) []Outgoing {
+		if v.Init != "go" {
+			return nil
+		}
+		return base[0].Step(v)
+	})
+	return []Protocol{initiator, base[1]}
+}
+
+func goIdleConfigs() []Config {
+	return []Config{
+		{Name: "go", Init: []string{"go", ""}},
+		{Name: "idle", Init: []string{"", ""}},
+	}
+}
+
+// alternatingDepth builds K_{recv(d)} K_{recv(d-1)} ... K_{recv(1)} sent1,
+// where recv(i) is the receiver of the i-th handshake message (p1 for odd
+// i, p0 for even i): the state of knowledge produced by d deliveries.
+func alternatingDepth(d int) logic.Formula {
+	f := logic.P("sent1")
+	for i := 1; i <= d; i++ {
+		if i%2 == 1 {
+			f = logic.K(1, f)
+		} else {
+			f = logic.K(0, f)
+		}
+	}
+	return f
+}
+
+func TestKnowledgeDepthTracksDeliveries(t *testing.T) {
+	// Section 4/7: with the initiator's intent uncertain, each delivered
+	// message adds exactly one level to the alternating knowledge of
+	// sent1 at the end of the run, and no level beyond the delivery count
+	// is attained.
+	sys, err := Generate(handshakeIfGo(), Unreliable{Delay: 1}, goIdleConfigs(), 10,
+		Options{MaxMessagesPerRun: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := sys.Model(runs.CompleteHistoryView, interpFor())
+	end := sys.Horizon
+
+	for ri, r := range sys.Runs {
+		d := 0
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				d++
+			}
+		}
+		w := pm.World(ri, end)
+		if d >= 1 {
+			set, err := pm.Eval(alternatingDepth(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !set.Contains(w) {
+				t.Errorf("run %s (%d deliveries): depth-%d knowledge should hold", r.Name, d, d)
+			}
+		}
+		set, err := pm.Eval(alternatingDepth(d + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Contains(w) {
+			t.Errorf("run %s (%d deliveries): depth-%d knowledge should NOT hold", r.Name, d, d+1)
+		}
+	}
+	// And sent1 itself never becomes common knowledge (Theorem 5).
+	c, err := pm.Eval(logic.MustParse("C sent1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsEmpty() {
+		t.Errorf("C sent1 should be unattainable, got %s", c)
+	}
+}
+
+func TestChannelNames(t *testing.T) {
+	for _, c := range []Channel{
+		Reliable{Delay: 1}, BoundedDelay{Min: 1, Max: 2}, Unreliable{Delay: 1},
+		Async{}, LossyUntil{Delay: 1, Deadline: 3},
+	} {
+		if c.Name() == "" {
+			t.Errorf("%T has empty name", c)
+		}
+	}
+}
+
+func TestLossyUntilChannel(t *testing.T) {
+	ch := LossyUntil{Delay: 1, Deadline: 2}
+	// Before the deadline: deliver-or-lose.
+	opts := ch.Options(0, 1, 2, 10)
+	if len(opts) != 2 || opts[0] != 3 || opts[1] != runs.Lost {
+		t.Errorf("Options at deadline = %v", opts)
+	}
+	// After the deadline: reliable.
+	opts = ch.Options(0, 1, 3, 10)
+	if len(opts) != 1 || opts[0] != 4 {
+		t.Errorf("Options after deadline = %v", opts)
+	}
+	// Beyond the horizon: forced loss.
+	opts = ch.Options(0, 1, 10, 10)
+	if len(opts) != 1 || opts[0] != runs.Lost {
+		t.Errorf("Options beyond horizon = %v", opts)
+	}
+}
+
+func TestGenerateHonorsWakeTimes(t *testing.T) {
+	// A processor that wakes at time 3 sends nothing before then, and its
+	// first action carries its (post-wake) view.
+	sender := Func(func(v LocalView) []Outgoing {
+		if len(v.Sent) == 0 {
+			return []Outgoing{{To: 1, Payload: "up"}}
+		}
+		return nil
+	})
+	cfgs := []Config{{Name: "late", Init: []string{"", ""}, Wake: []runs.Time{3, 0}}}
+	sys, err := Generate([]Protocol{sender, Silent}, Reliable{Delay: 1}, cfgs, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Runs[0]
+	if len(r.Messages) != 1 {
+		t.Fatalf("messages = %v", r.Messages)
+	}
+	if r.Messages[0].SendTime != 3 {
+		t.Errorf("first send at %d, want 3 (the wake time)", r.Messages[0].SendTime)
+	}
+}
+
+func TestMultipleConfigs(t *testing.T) {
+	cfgs := []Config{
+		{Name: "bit0", Init: []string{"0", ""}},
+		{Name: "bit1", Init: []string{"1", ""}},
+	}
+	// p0 sends its bit; unreliable channel.
+	sender := Func(func(v LocalView) []Outgoing {
+		if len(v.Sent) == 0 {
+			return []Outgoing{{To: 1, Payload: "bit=" + v.Init}}
+		}
+		return nil
+	})
+	sys, err := Generate([]Protocol{sender, Silent}, Unreliable{Delay: 1}, cfgs, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) != 4 {
+		t.Fatalf("2 configs x 2 outcomes = %d runs, want 4", len(sys.Runs))
+	}
+	names := map[string]bool{}
+	for _, r := range sys.Runs {
+		names[strings.SplitN(r.Name, "#", 2)[0]] = true
+	}
+	if !names["bit0"] || !names["bit1"] {
+		t.Errorf("config names not preserved: %v", names)
+	}
+}
+
+func BenchmarkGenerateHandshake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Generate(handshake(), Unreliable{Delay: 1}, twoProcConfig(), 10,
+			Options{MaxMessagesPerRun: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem5Check(b *testing.B) {
+	sys, err := Generate(handshake(), Unreliable{Delay: 1}, twoProcConfig(), 6,
+		Options{MaxMessagesPerRun: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := sys.Model(runs.CompleteHistoryView, interpFor())
+	formulas := []logic.Formula{logic.P("sent1"), logic.P("del1")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CheckTheorem5(pm, nil, formulas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

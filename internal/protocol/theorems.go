@@ -1,0 +1,247 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// This file implements the run-extension relation of Section 5, machine
+// checkers for the "communication not guaranteed" conditions NG1/NG2 and
+// the "unbounded message delivery" condition NG1′ of Section 8, and the
+// checker for Theorems 5 and 7: in such systems, common knowledge holds at
+// (r, t) iff it holds at (r⁻, t) for the silent run r⁻ with the same
+// initial configuration and clock readings.
+
+// SameInitialConfig reports whether two runs have the same initial
+// configuration (initial states and wake-up times, Section 5).
+func SameInitialConfig(a, b *runs.Run) bool {
+	if a.N != b.N {
+		return false
+	}
+	for p := 0; p < a.N; p++ {
+		if a.Init[p] != b.Init[p] || a.Wake[p] != b.Wake[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameClockReadings reports whether two runs have the same clock readings
+// at every point. Runs without clocks vacuously agree (as in the paper).
+func SameClockReadings(a, b *runs.Run) bool {
+	if a.N != b.N || a.Horizon != b.Horizon {
+		return false
+	}
+	for p := 0; p < a.N; p++ {
+		for t := runs.Time(0); t <= a.Horizon; t++ {
+			ca, oka := a.ClockReading(p, t)
+			cb, okb := b.ClockReading(p, t)
+			if oka != okb || (oka && ca != cb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Extends reports whether rPrime extends the point (r, t): every processor
+// has the same history in both runs at every time up to and including t.
+func Extends(rPrime, r *runs.Run, t runs.Time) bool {
+	if rPrime.N != r.N {
+		return false
+	}
+	for p := 0; p < r.N; p++ {
+		for u := runs.Time(0); u <= t; u++ {
+			if r.History(p, u) != rPrime.History(p, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// receivesIn reports whether any processor (or only processor p if p >= 0,
+// or any processor except p if exceptFor is true) receives a message in r
+// during [from, to].
+func receivesIn(r *runs.Run, from, to runs.Time, p int, exceptFor bool) bool {
+	for _, m := range r.Messages {
+		if !m.Delivered() || m.RecvTime < from || m.RecvTime > to {
+			continue
+		}
+		switch {
+		case p < 0:
+			return true
+		case exceptFor && m.To != p:
+			return true
+		case !exceptFor && m.To == p:
+			return true
+		}
+	}
+	return false
+}
+
+// CheckNG1 verifies condition NG1 on the system: for every run r and time
+// t, some run r′ extends (r, t), has the same initial configuration and
+// clock readings, and receives no messages at or after t.
+func CheckNG1(sys *runs.System) error {
+	for _, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			found := false
+			for _, rp := range sys.Runs {
+				if SameInitialConfig(r, rp) && SameClockReadings(r, rp) &&
+					Extends(rp, r, t) && !receivesIn(rp, t, sys.Horizon, -1, false) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("protocol: NG1 fails at (%s, %d)", r.Name, t)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckNG2 verifies condition NG2: whenever processor p receives no message
+// in the open interval (t′, t) of run r, some run r′ extends (r, t′), has
+// the same initial configuration and clock readings, agrees with p's
+// history up to t, and delivers no messages to processors other than p in
+// [t′, t).
+func CheckNG2(sys *runs.System) error {
+	for _, r := range sys.Runs {
+		for tp := runs.Time(0); tp < sys.Horizon; tp++ {
+			for t := tp + 1; t <= sys.Horizon; t++ {
+				for p := 0; p < sys.N; p++ {
+					// p must receive nothing in (t', t), i.e. [t'+1, t-1].
+					if tp+1 <= t-1 && receivesIn(r, tp+1, t-1, p, false) {
+						continue
+					}
+					if !ng2Witness(sys, r, p, tp, t) {
+						return fmt.Errorf("protocol: NG2 fails for p%d at (%s, (%d,%d))", p, r.Name, tp, t)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func ng2Witness(sys *runs.System, r *runs.Run, p int, tp, t runs.Time) bool {
+	for _, rp := range sys.Runs {
+		if !SameInitialConfig(r, rp) || !SameClockReadings(r, rp) || !Extends(rp, r, tp) {
+			continue
+		}
+		// p's history must agree up to t.
+		agree := true
+		for u := runs.Time(0); u <= t; u++ {
+			if r.History(p, u) != rp.History(p, u) {
+				agree = false
+				break
+			}
+		}
+		if !agree {
+			continue
+		}
+		// No q != p receives in [t', t).
+		if t-1 >= tp && receivesIn(rp, tp, t-1, p, true) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// CheckNG1Prime verifies condition NG1′ (unbounded delivery): for every run
+// r and times t <= u, some run r′ extends (r, t), has the same initial
+// configuration and clock readings, and receives no messages in [t, u].
+func CheckNG1Prime(sys *runs.System) error {
+	for _, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			for u := t; u <= sys.Horizon; u++ {
+				found := false
+				for _, rp := range sys.Runs {
+					if SameInitialConfig(r, rp) && SameClockReadings(r, rp) &&
+						Extends(rp, r, t) && !receivesIn(rp, t, u, -1, false) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("protocol: NG1' fails at (%s, %d..%d)", r.Name, t, u)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SilentRunFor returns a run of the system with the same initial
+// configuration and clock readings as r in which no messages are received
+// up to time t (the run r⁻ of Theorems 5 and 7), or nil if none exists.
+func SilentRunFor(sys *runs.System, r *runs.Run, t runs.Time) *runs.Run {
+	for _, rp := range sys.Runs {
+		if SameInitialConfig(r, rp) && SameClockReadings(r, rp) &&
+			!receivesIn(rp, 0, t-1, -1, false) {
+			return rp
+		}
+	}
+	return nil
+}
+
+// Theorem5Result records one comparison made by CheckTheorem5.
+type Theorem5Result struct {
+	Run      string
+	Silent   string
+	T        runs.Time
+	Formula  string
+	AtRun    bool // C_G φ at (r, t)
+	AtSilent bool // C_G φ at (r⁻, t)
+}
+
+// CheckTheorem5 verifies the conclusion of Theorem 5 (and Theorem 7) on a
+// point model: for every run r, every time t, and every formula φ in the
+// family, C_G φ holds at (r, t) iff it holds at (r⁻, t), where r⁻ is a run
+// with the same initial configuration and clock readings in which no
+// messages are received up to t. Runs with no matching silent run are
+// skipped (they cannot arise if NG1 holds). It returns the comparisons made
+// and an error on the first violation.
+func CheckTheorem5(pm *runs.PointModel, g logic.Group, formulas []logic.Formula) ([]Theorem5Result, error) {
+	sys := pm.Sys
+	var results []Theorem5Result
+	for ri, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			rMinus := SilentRunFor(sys, r, t)
+			if rMinus == nil {
+				continue
+			}
+			var mi int
+			for j, rr := range sys.Runs {
+				if rr == rMinus {
+					mi = j
+					break
+				}
+			}
+			for _, f := range formulas {
+				cf := logic.C(g, f)
+				set, err := pm.Eval(cf)
+				if err != nil {
+					return nil, err
+				}
+				atRun := set.Contains(pm.World(ri, t))
+				atSilent := set.Contains(pm.World(mi, t))
+				results = append(results, Theorem5Result{
+					Run: r.Name, Silent: rMinus.Name, T: t,
+					Formula: cf.String(), AtRun: atRun, AtSilent: atSilent,
+				})
+				if atRun != atSilent {
+					return results, fmt.Errorf(
+						"protocol: Theorem 5 violated: %s at (%s,%d)=%v but at (%s,%d)=%v",
+						cf, r.Name, t, atRun, rMinus.Name, t, atSilent)
+				}
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,546 @@
+package runs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestHistoryWithoutClockIgnoresTime(t *testing.T) {
+	r := NewRun("r", 2, 10)
+	r.Init[0] = "a"
+	// No events, no clocks: every point after wake-up looks the same.
+	h0 := r.History(0, 0)
+	h5 := r.History(0, 5)
+	if h0 != h5 {
+		t.Errorf("silent clockless histories differ: %q vs %q", h0, h5)
+	}
+}
+
+func TestHistoryWithClockTracksTime(t *testing.T) {
+	r := NewRun("r", 2, 10)
+	r.SetIdentityClock(0)
+	if r.History(0, 0) == r.History(0, 5) {
+		t.Error("clock readings should distinguish silent points")
+	}
+}
+
+func TestHistoryBeforeWake(t *testing.T) {
+	r := NewRun("r", 1, 5)
+	r.Wake[0] = 3
+	if got := r.History(0, 2); got != "asleep" {
+		t.Errorf("history before wake = %q", got)
+	}
+	if r.History(0, 3) == "asleep" {
+		t.Error("history at wake time should not be asleep")
+	}
+}
+
+func TestHistoryObservesMessagesInOrder(t *testing.T) {
+	r := NewRun("r", 2, 10)
+	r.Send(0, 1, 2, 3, "x")
+	r.Send(1, 0, 4, 6, "y")
+	// p0 sends x at 2 and receives y at 6.
+	h5 := r.History(0, 5) // only the send visible
+	h7 := r.History(0, 7) // send and receive visible
+	if h5 == h7 {
+		t.Error("receiving a message should change the history")
+	}
+	// events strictly before t: at t=2 the send at 2 is not yet in history.
+	if r.History(0, 2) != r.History(0, 0) {
+		t.Error("history at t should exclude events at t")
+	}
+	if r.History(0, 3) == r.History(0, 0) {
+		t.Error("history should include events before t")
+	}
+}
+
+func TestHistoryLostMessageInvisibleToReceiver(t *testing.T) {
+	r1 := NewRun("r1", 2, 5)
+	r1.SendLost(0, 1, 1, "m")
+	r2 := NewRun("r2", 2, 5)
+	if r1.History(1, 5) != r2.History(1, 5) {
+		t.Error("receiver should not observe a lost message")
+	}
+	if r1.History(0, 5) == r2.History(0, 5) {
+		t.Error("sender observes its own send even if the message is lost")
+	}
+}
+
+func TestClockValidation(t *testing.T) {
+	r := NewRun("r", 1, 3)
+	if err := r.SetClock(0, []int{0, 1}); err == nil {
+		t.Error("wrong-length clock accepted")
+	}
+	if err := r.SetClock(0, []int{0, 2, 1, 3}); err == nil {
+		t.Error("decreasing clock accepted")
+	}
+	if err := r.SetClock(0, []int{0, 0, 2, 2}); err != nil {
+		t.Errorf("valid monotone clock rejected: %v", err)
+	}
+	if v, ok := r.ClockReading(0, 2); !ok || v != 2 {
+		t.Errorf("ClockReading = %d, %v", v, ok)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	a := NewRun("a", 2, 5)
+	b := NewRun("b", 3, 5)
+	if _, err := NewSystem(a, b); err == nil {
+		t.Error("mismatched processor counts accepted")
+	}
+	c := NewRun("c", 2, 6)
+	if _, err := NewSystem(a, c); err == nil {
+		t.Error("mismatched horizons accepted")
+	}
+	if _, err := NewSystem(); err == nil {
+		t.Error("empty system accepted")
+	}
+	s, err := NewSystem(a, NewRun("d", 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPoints() != 12 {
+		t.Errorf("NumPoints = %d, want 12", s.NumPoints())
+	}
+	if _, ok := s.RunByName("d"); !ok {
+		t.Error("RunByName failed")
+	}
+}
+
+// messageSystem builds a two-run system: in "ok" p0 sends m at 1, delivered
+// at 2; in "lost" the message is lost. Complete-history views, no clocks.
+func messageSystem(t *testing.T) (*System, *PointModel) {
+	t.Helper()
+	ok := NewRun("ok", 2, 5)
+	ok.Send(0, 1, 1, 2, "m")
+	lost := NewRun("lost", 2, 5)
+	lost.SendLost(0, 1, 1, "m")
+	sys := MustSystem(ok, lost)
+	interp := Interpretation{
+		"sent":  StablyTrue(SentBy("m")),
+		"recvd": StablyTrue(ReceivedBy("m")),
+	}
+	return sys, sys.Model(CompleteHistoryView, interp)
+}
+
+func TestPointModelBasicKnowledge(t *testing.T) {
+	_, pm := messageSystem(t)
+
+	// After delivery, p1 knows sent.
+	ok, err := pm.HoldsAt(logic.MustParse("K1 sent"), "ok", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("p1 should know sent after receiving m")
+	}
+	// Before delivery, p1 does not know sent.
+	ok, _ = pm.HoldsAt(logic.MustParse("K1 sent"), "ok", 1)
+	if ok {
+		t.Error("p1 should not know sent before receiving m")
+	}
+	// The sender knows sent right after sending.
+	ok, _ = pm.HoldsAt(logic.MustParse("K0 sent"), "ok", 2)
+	if !ok {
+		t.Error("p0 should know sent after sending")
+	}
+	// But p0 never knows that p1 knows (delivery is uncertain).
+	ok, _ = pm.HoldsAt(logic.MustParse("K0 K1 sent"), "ok", 5)
+	if ok {
+		t.Error("p0 cannot know K1 sent when the message may be lost")
+	}
+	// And C sent holds nowhere.
+	set, err := pm.Eval(logic.MustParse("C sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.IsEmpty() {
+		t.Errorf("C sent should be unattainable, holds at %s", set)
+	}
+}
+
+func TestEventuallyAlways(t *testing.T) {
+	_, pm := messageSystem(t)
+	// <> recvd holds at every point of "ok" (delivery at 2), nowhere in "lost".
+	set, err := pm.Eval(logic.MustParse("<> recvd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := Time(0); tt <= 5; tt++ {
+		w, _ := pm.WorldOf("ok", tt)
+		if !set.Contains(w) {
+			t.Errorf("<> recvd should hold at (ok, %d)", tt)
+		}
+		w, _ = pm.WorldOf("lost", tt)
+		if set.Contains(w) {
+			t.Errorf("<> recvd should fail at (lost, %d)", tt)
+		}
+	}
+	// [] sent holds at (ok, t) from t=1 on (sent is stable).
+	alw, err := pm.Eval(logic.MustParse("[] sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := pm.WorldOf("ok", 0)
+	if alw.Contains(w) {
+		t.Error("[] sent should fail at (ok, 0): sent is false at time 0... ")
+	}
+	w, _ = pm.WorldOf("ok", 1)
+	if !alw.Contains(w) {
+		t.Error("[] sent should hold at (ok, 1)")
+	}
+}
+
+func TestEventualCommonKnowledgeOnReliableBroadcast(t *testing.T) {
+	// One-run system (delivery guaranteed): when p1 receives m it is
+	// eventual common knowledge that m was sent — Section 11.
+	ok := NewRun("ok", 2, 5)
+	ok.Send(0, 1, 1, 2, "m")
+	sys := MustSystem(ok)
+	pm := sys.Model(CompleteHistoryView, Interpretation{
+		"sent": StablyTrue(SentBy("m")),
+	})
+	set, err := pm.Eval(logic.MustParse("Cv sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C^⋄ is a run-uniform notion here: the single run delivers, so every
+	// agent eventually knows sent, eventually knows everyone knows, etc.
+	if !set.IsFull() {
+		t.Errorf("Cv sent should hold throughout the reliable run, got %s", set)
+	}
+
+	// In the two-run (lossy) system it must fail everywhere: in the lost
+	// run p1 never knows sent, and the sender cannot distinguish the runs.
+	_, pm2 := messageSystem(t)
+	set2, err := pm2.Eval(logic.MustParse("Cv sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set2.IsEmpty() {
+		t.Errorf("Cv sent should fail in the lossy system, holds at %s", set2)
+	}
+}
+
+// r2d2Chain builds the Section 8 R2–D2 system with spread ε = 1: for each
+// send time i in [0, m), run "r<i>" delivers immediately and run "s<i>"
+// delivers one tick later. Both processors have identity clocks and the
+// payload carries no timestamp, so R cannot distinguish r_i from s_i, and D
+// cannot distinguish r_i from s_{i-1} — the paper's indistinguishability
+// chain. The horizon leaves room for every delivery to be observed.
+func r2d2Chain(m int, horizon Time) *System {
+	rs := make([]*Run, 0, 2*m)
+	for i := 0; i < m; i++ {
+		r := NewRun(fmt.Sprintf("r%d", i), 2, horizon)
+		r.SetIdentityClock(0)
+		r.SetIdentityClock(1)
+		r.Send(0, 1, Time(i), Time(i), "m")
+		s := NewRun(fmt.Sprintf("s%d", i), 2, horizon)
+		s.SetIdentityClock(0)
+		s.SetIdentityClock(1)
+		s.Send(0, 1, Time(i), Time(i+1), "m")
+		rs = append(rs, r, s)
+	}
+	return MustSystem(rs...)
+}
+
+func TestEpsCommonKnowledgeOnR2D2Chain(t *testing.T) {
+	// On the R2–D2 chain, plain common knowledge of sent(m) is
+	// unattainable (while send times remain uncertain), but ε-common
+	// knowledge holds as soon as the message is sent — the Section 11
+	// claim for broadcast channels with spread ε and L = 0.
+	sys := r2d2Chain(5, 8)
+	pm := sys.Model(CompleteHistoryView, Interpretation{
+		"sent": StablyTrue(SentBy("m")),
+	})
+
+	c, err := pm.Eval(logic.MustParse("C sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := pm.Eval(logic.MustParse("Ce[1] sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At (r0, 1): the message has been sent and delivered, yet C sent
+	// fails (the chain reaches runs where m is not yet sent), while
+	// Ce[1] sent holds.
+	w, _ := pm.WorldOf("r0", 1)
+	if c.Contains(w) {
+		t.Error("C sent should fail at (r0, 1): send times are uncertain")
+	}
+	if !ce.Contains(w) {
+		t.Error("Ce[1] sent should hold at (r0, 1)")
+	}
+	// C sent fails at every point with t below the largest send time.
+	for ri, r := range sys.Runs {
+		for tt := Time(0); tt < 4; tt++ {
+			if c.Contains(pm.World(ri, tt)) {
+				t.Errorf("C sent holds at (%s, %d); should be unattainable", r.Name, tt)
+			}
+		}
+	}
+	// Ce[1] sent holds in run r_i from the send time on (forward-looking
+	// interval), and in s_i from one tick after the send.
+	for i := 0; i < 4; i++ {
+		w, _ := pm.WorldOf(fmt.Sprintf("r%d", i), Time(i))
+		if !ce.Contains(w) {
+			t.Errorf("Ce[1] sent should hold at (r%d, %d)", i, i)
+		}
+		w, _ = pm.WorldOf(fmt.Sprintf("s%d", i), Time(i+1))
+		if !ce.Contains(w) {
+			t.Errorf("Ce[1] sent should hold at (s%d, %d)", i, i+1)
+		}
+	}
+	// Hierarchy of Section 11: C ⊆ Ce[1] ⊆ Ce[2] ⊆ Cv.
+	ce2, err := pm.Eval(logic.MustParse("Ce[2] sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := pm.Eval(logic.MustParse("Cv sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SubsetOf(ce) || !ce.SubsetOf(ce2) || !ce2.SubsetOf(cv) {
+		t.Error("temporal common knowledge hierarchy violated")
+	}
+}
+
+func TestR2D2KnowledgeLadder(t *testing.T) {
+	// The quantitative heart of the Section 8 example: each level of
+	// "R knows that D knows that ..." costs one ε. In run s0 (send at 0,
+	// delivery at 1), (K_R K_D)^k sent first holds at time k+1.
+	sys := r2d2Chain(6, 9)
+	pm := sys.Model(CompleteHistoryView, Interpretation{
+		"sent": StablyTrue(SentBy("m")),
+	})
+	phi := logic.P("sent")
+	for k := 1; k <= 4; k++ {
+		phi = logic.K(0, logic.K(1, phi)) // K_R K_D applied k times
+		set, err := pm.Eval(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := Time(-1)
+		for tt := Time(0); tt <= sys.Horizon; tt++ {
+			w, _ := pm.WorldOf("s0", tt)
+			if set.Contains(w) {
+				first = tt
+				break
+			}
+		}
+		want := Time(k + 1)
+		if first != want {
+			t.Errorf("(K_R K_D)^%d sent first holds at t=%d in s0, want %d", k, first, want)
+		}
+	}
+}
+
+func TestTimestampedCommonKnowledge(t *testing.T) {
+	// The timestamped message m' of Section 12: "this message is being
+	// sent at time tS = 2 and will reach you by T0 on both clocks". With
+	// identity (global) clocks and delivery taking 0 or 1 ticks, receipt
+	// is observed in the history by t = 4, so with T0 = 4 the fact
+	// sent(m') is timestamped common knowledge with timestamp T0. A third
+	// run in which m' is never sent keeps the fact informative.
+	r0 := NewRun("recv_now", 2, 6)
+	r0.Send(0, 1, 2, 2, "m@2") // timestamped payload
+	r1 := NewRun("recv_later", 2, 6)
+	r1.Send(0, 1, 2, 3, "m@2")
+	never := NewRun("never", 2, 6)
+	for _, r := range []*Run{r0, r1, never} {
+		r.SetIdentityClock(0)
+		r.SetIdentityClock(1)
+	}
+	sys := MustSystem(r0, r1, never)
+	pm := sys.Model(CompleteHistoryView, Interpretation{
+		"sent": StablyTrue(SentBy("m@2")),
+	})
+
+	ct, err := pm.Eval(logic.MustParse("Ct[4] sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := Time(0); tt <= 6; tt++ {
+		for _, name := range []string{"recv_now", "recv_later"} {
+			w, _ := pm.WorldOf(name, tt)
+			if !ct.Contains(w) {
+				t.Errorf("Ct[4] sent should hold at (%s, %d)", name, tt)
+			}
+		}
+		w, _ := pm.WorldOf("never", tt)
+		if ct.Contains(w) {
+			t.Errorf("Ct[4] sent should fail at (never, %d)", tt)
+		}
+	}
+	// At clock time 3 the receiver of recv_later has not yet observed the
+	// delivery, so Ct[3] fails everywhere.
+	ct3, err := pm.Eval(logic.MustParse("Ct[3] sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct3.IsEmpty() {
+		t.Errorf("Ct[3] sent should fail, got %s", ct3)
+	}
+	// Theorem 12(a): with identical clocks, C^T coincides with plain C at
+	// time T on the clock. C sent holds at the message runs from t=4 on,
+	// and not at t=3.
+	c, err := pm.Eval(logic.MustParse("C sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"recv_now", "recv_later"} {
+		w, _ := pm.WorldOf(name, 4)
+		if !c.Contains(w) {
+			t.Errorf("C sent should hold at (%s, 4)", name)
+		}
+		w, _ = pm.WorldOf(name, 3)
+		if c.Contains(w) {
+			t.Errorf("C sent should not hold at (%s, 3)", name)
+		}
+	}
+}
+
+func TestObliviousViewCollapsesSystem(t *testing.T) {
+	okRun := NewRun("ok", 2, 3)
+	okRun.Send(0, 1, 1, 2, "m")
+	lost := NewRun("lost", 2, 3)
+	lost.SendLost(0, 1, 1, "m")
+	sys := MustSystem(okRun, lost)
+	pm := sys.Model(ObliviousView, Interpretation{
+		"sent": StablyTrue(SentBy("m")),
+		"taut": func(*Run, Time) bool { return true },
+	})
+	// Everything valid is common knowledge; nothing else is known.
+	c, err := pm.Eval(logic.MustParse("C taut"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsFull() {
+		t.Error("valid facts should be common knowledge under the oblivious view")
+	}
+	k, _ := pm.Eval(logic.MustParse("K0 sent"))
+	if !k.IsEmpty() {
+		t.Error("nothing contingent should be known under the oblivious view")
+	}
+}
+
+func TestGReachable(t *testing.T) {
+	_, pm := messageSystem(t)
+	// (ok, 0) and (lost, 0) are indistinguishable to everyone (no events
+	// yet), hence mutually reachable.
+	ok, err := pm.GReachable(nil, 0, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("(ok,0) and (lost,0) should be G-reachable")
+	}
+}
+
+func TestLemma3(t *testing.T) {
+	// Lemma 3: C_G is constant across points where some member of G has
+	// the same view. Verified on both the lossy message system and the
+	// R2-D2 chain.
+	_, pm := messageSystem(t)
+	family := []logic.Formula{
+		logic.P("sent"), logic.P("recvd"), logic.Neg(logic.P("sent")), logic.True,
+	}
+	if err := pm.CheckLemma3(nil, family); err != nil {
+		t.Error(err)
+	}
+	if err := pm.CheckLemma3(logic.NewGroup(0, 1), family); err != nil {
+		t.Error(err)
+	}
+	chain := r2d2Chain(4, 7)
+	cpm := chain.Model(CompleteHistoryView, Interpretation{
+		"sent": StablyTrue(SentBy("m")),
+	})
+	if err := cpm.CheckLemma3(nil, []logic.Formula{logic.P("sent")}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetaCloneIndependence(t *testing.T) {
+	r := NewRun("r", 2, 4)
+	r.Meta["attack"] = 3
+	r.Send(0, 1, 0, 1, "m")
+	r.SetIdentityClock(0)
+	c := r.Clone()
+	c.Meta["attack"] = 9
+	c.Send(1, 0, 2, 3, "ack")
+	if r.Meta["attack"] != 3 {
+		t.Error("Clone shares Meta")
+	}
+	if len(r.Messages) != 1 {
+		t.Error("Clone shares Messages")
+	}
+	if !c.HasClock(0) {
+		t.Error("Clone lost clocks")
+	}
+}
+
+func TestEpsKnowledgeIntervalSemantics(t *testing.T) {
+	// Two runs: in "yes" processor 2 holds bit 1 and informs p0 (received
+	// at 2) and p1 (received at 4); in "no" it holds bit 0 and stays
+	// silent. fact = "p2's bit is 1". With identity clocks, p0 learns fact
+	// at t=3 (the receive at 2 enters its history at 3) and p1 at t=5.
+	//
+	// E^ε for ε=2 over {0,1} requires an interval [t', t'+2] containing
+	// the current time in which both know fact at some point: the earliest
+	// is [3,5], so Ee[2]{0,1} fact holds in "yes" exactly from t=3, and
+	// nowhere in "no" (fact is false there).
+	yes := NewRun("yes", 3, 8)
+	yes.Init[2] = "1"
+	no := NewRun("no", 3, 8)
+	no.Init[2] = "0"
+	for _, r := range []*Run{yes, no} {
+		for p := 0; p < 3; p++ {
+			r.SetIdentityClock(p)
+		}
+	}
+	yes.Send(2, 0, 1, 2, "f")
+	yes.Send(2, 1, 3, 4, "f")
+	sys := MustSystem(yes, no)
+	pm := sys.Model(CompleteHistoryView, Interpretation{
+		"fact": func(r *Run, _ Time) bool { return r.Init[2] == "1" },
+	})
+
+	k0, err := pm.Eval(logic.MustParse("K0 fact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := Time(0); tt <= 8; tt++ {
+		w, _ := pm.WorldOf("yes", tt)
+		if got, want := k0.Contains(w), tt >= 3; got != want {
+			t.Errorf("K0 fact at (yes,%d) = %v, want %v", tt, got, want)
+		}
+	}
+
+	ee, err := pm.Eval(logic.MustParse("Ee[2]{0,1} fact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := Time(0); tt <= 8; tt++ {
+		w, _ := pm.WorldOf("yes", tt)
+		if got, want := ee.Contains(w), tt >= 3; got != want {
+			t.Errorf("Ee[2] fact at (yes,%d) = %v, want %v", tt, got, want)
+		}
+		w, _ = pm.WorldOf("no", tt)
+		if ee.Contains(w) {
+			t.Errorf("Ee[2] fact should fail at (no,%d)", tt)
+		}
+	}
+
+	// K2 fact holds everywhere in "yes": p2 sees its own bit.
+	k2, err := pm.Eval(logic.MustParse("K2 fact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := pm.WorldOf("yes", 0)
+	if !k2.Contains(w) {
+		t.Error("p2 should know its own bit at time 0")
+	}
+}

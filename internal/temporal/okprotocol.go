@@ -1,0 +1,150 @@
+package temporal
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+// This file implements the "OK protocol" example of Section 11: a system
+// where communication is not guaranteed, clocks are perfectly synchronized,
+// and both processors send "OK" in rounds, continuing only while every
+// expected message has arrived. Let ψ say that some past message was lost.
+// Then ψ ⊃ E^ε ψ is valid (a processor that notices a missing OK stops
+// sending, which its partner notices one round later), so by the induction
+// rule ψ ⊃ C^ε ψ — and C^ε ψ holds in the run where messages are lost but
+// NOT in the run where communication fully succeeds. Successful
+// communication prevents this ε-common knowledge.
+//
+// In the paper's continuous formulation a round takes one time unit and
+// messages arrive within it; in this discrete reproduction a message sent
+// at an even time 2k arrives at 2k+1 (or is lost) and is observed at
+// 2k+2, so a round spans two ticks and the relevant ε is 2.
+
+// RoundLength is the duration of one OK-protocol round in ticks.
+const RoundLength = 2
+
+// OKProtocol returns the two processors' protocol: at each round start
+// (time 2k with 2k <= lastSend), send "OK" iff k OK messages have been
+// received so far (vacuously for k = 0). Bounding the send window keeps the
+// finite-horizon system clean: a message sent at lastSend can still be
+// delivered within the horizon, so no loss is forced by truncation.
+func OKProtocol(lastSend int) []protocol.Protocol {
+	step := func(v protocol.LocalView) []protocol.Outgoing {
+		if !v.HasClock || v.Clock%RoundLength != 0 || v.Clock > lastSend {
+			return nil
+		}
+		k := v.Clock / RoundLength
+		if len(v.Received) >= k {
+			return []protocol.Outgoing{{To: 1 - v.Me, Payload: "OK"}}
+		}
+		return nil
+	}
+	return []protocol.Protocol{protocol.Func(step), protocol.Func(step)}
+}
+
+// LossProp is the ground fact ψ of the example: "the current time is at
+// least one full round, and some message sent at least a round ago was not
+// delivered within one tick" (with the deterministic unit delay of the
+// channel, "not delivered within one tick" means lost).
+const LossProp = "psi"
+
+// OKSystem generates the OK-protocol system up to the horizon, together
+// with its interpretation. Sends stop at horizon−RoundLength so that every
+// sent message has a delivery slot within the horizon.
+//
+// Finite-horizon surrogate: on a truly unreliable channel a loss in the
+// final send round is noticed by the receiver but the sender has no later
+// round in which to notice the receiver's silence, so the paper's ψ ⊃ E^ε ψ
+// (valid for the unbounded protocol) would fail at the truncation boundary
+// and the greatest fixed point C^ε ψ would erode everywhere. The system
+// therefore uses a LossyUntil channel: losses happen only at send times up
+// to horizon−2·RoundLength, exactly the losses whose detection by both
+// parties fits within the horizon. In the region the paper's infinite
+// system models, the behavior is unchanged.
+func OKSystem(horizon runs.Time) (*runs.PointModel, error) {
+	cfg := []protocol.Config{{Name: "ok", Init: []string{"", ""}, Clock: []int{0, 0}}}
+	ch := protocol.LossyUntil{Delay: 1, Deadline: horizon - 2*RoundLength}
+	sys, err := protocol.Generate(OKProtocol(int(horizon)-RoundLength), ch, cfg, horizon, protocol.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("temporal: %w", err)
+	}
+	interp := runs.Interpretation{
+		LossProp: func(r *runs.Run, t runs.Time) bool {
+			if t < RoundLength {
+				return false
+			}
+			for _, m := range r.Messages {
+				if m.SendTime <= t-RoundLength && !m.Delivered() {
+					return true
+				}
+			}
+			return false
+		},
+		"alllost": func(r *runs.Run, t runs.Time) bool {
+			for _, m := range r.Messages {
+				if m.Delivered() {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	return sys.Model(runs.CompleteHistoryView, interp), nil
+}
+
+// FullyDeliveredRun returns the name of the run in which every sent message
+// was delivered (the maximally successful communication).
+func FullyDeliveredRun(sys *runs.System) (string, error) {
+	best, bestCount := "", -1
+	for _, r := range sys.Runs {
+		lost := false
+		for _, m := range r.Messages {
+			if !m.Delivered() {
+				lost = true
+				break
+			}
+		}
+		if lost {
+			continue
+		}
+		if len(r.Messages) > bestCount {
+			bestCount = len(r.Messages)
+			best = r.Name
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("temporal: no fully delivered run")
+	}
+	return best, nil
+}
+
+// AllLostRun returns the name of a run in which no message was delivered.
+func AllLostRun(sys *runs.System) (string, error) {
+	for _, r := range sys.Runs {
+		delivered := false
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			return r.Name, nil
+		}
+	}
+	return "", fmt.Errorf("temporal: no all-lost run")
+}
+
+// EarliestLoss returns the send time of the earliest lost message in r, or
+// runs.Lost if nothing was lost.
+func EarliestLoss(r *runs.Run) runs.Time {
+	best := runs.Lost
+	for _, m := range r.Messages {
+		if !m.Delivered() && (best == runs.Lost || m.SendTime < best) {
+			best = m.SendTime
+		}
+	}
+	return best
+}

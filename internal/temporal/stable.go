@@ -1,0 +1,161 @@
+package temporal
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// This file implements the stable-fact analysis of Section 11. A fact is
+// stable if once true it remains true. For stable facts under
+// complete-history interpretations the paper makes three claims, each
+// machine-checked here:
+//
+//  1. (footnote 6) E^ε_G φ holds iff E_G φ holds within ε time units —
+//     the current interval definition generalizes the earlier ©εE
+//     definition and coincides with it on stable facts;
+//  2. consequence closure (axiom A2) holds for E^ε and C^ε on stable
+//     facts, although it fails in general;
+//  3. C^ε implies the infinite conjunction of (E^ε)^k (and for stable
+//     facts under complete-history views is equivalent to it).
+
+// IsStable reports whether φ is stable in the model: at every point where
+// it holds, it continues to hold for the rest of the run.
+func IsStable(pm *runs.PointModel, phi logic.Formula) (bool, error) {
+	set, err := pm.Eval(phi)
+	if err != nil {
+		return false, err
+	}
+	span := int(pm.Sys.Horizon) + 1
+	for ri := range pm.Sys.Runs {
+		holding := false
+		for t := 0; t < span; t++ {
+			now := set.Contains(pm.World(ri, runs.Time(t)))
+			if holding && !now {
+				return false, nil
+			}
+			holding = holding || now
+		}
+	}
+	return true, nil
+}
+
+// CheckFootnote6 verifies, for a stable fact φ, that E^ε_G φ holds at
+// (r, t) iff E_G φ holds at some point of r within ε of t. It returns an
+// error if φ is not stable or the equivalence fails at some point.
+func CheckFootnote6(pm *runs.PointModel, g logic.Group, eps int, phi logic.Formula) error {
+	stable, err := IsStable(pm, phi)
+	if err != nil {
+		return err
+	}
+	if !stable {
+		return fmt.Errorf("temporal: %s is not stable", phi)
+	}
+	eeps, err := pm.Eval(logic.Eeps(g, eps, phi))
+	if err != nil {
+		return err
+	}
+	e, err := pm.Eval(logic.E(g, phi))
+	if err != nil {
+		return err
+	}
+	span := int(pm.Sys.Horizon) + 1
+	for ri, r := range pm.Sys.Runs {
+		for t := 0; t < span; t++ {
+			lhs := eeps.Contains(pm.World(ri, runs.Time(t)))
+			rhs := false
+			for u := t - eps; u <= t+eps; u++ {
+				if u >= 0 && u < span && e.Contains(pm.World(ri, runs.Time(u))) {
+					rhs = true
+					break
+				}
+			}
+			if lhs != rhs {
+				return fmt.Errorf("temporal: footnote-6 equivalence fails at (%s,%d): E^eps=%v, E-within-eps=%v",
+					r.Name, t, lhs, rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckStableConsequenceClosure verifies A2 for E^ε (and C^ε) on stable
+// facts: if φ and φ ⊃ ψ are stable, then
+//
+//	E^ε φ ∧ E^ε (φ ⊃ ψ) ⊃ E^ε ψ
+//
+// is valid (and likewise with C^ε). Both φ and ψ must be stable.
+func CheckStableConsequenceClosure(pm *runs.PointModel, g logic.Group, eps int, phi, psi logic.Formula) error {
+	for _, f := range []logic.Formula{phi, psi, logic.Imp(phi, psi)} {
+		st, err := IsStable(pm, f)
+		if err != nil {
+			return err
+		}
+		if !st {
+			return fmt.Errorf("temporal: %s is not stable", f)
+		}
+	}
+	for _, mk := range []func(logic.Formula) logic.Formula{
+		func(x logic.Formula) logic.Formula { return logic.Eeps(g, eps, x) },
+		func(x logic.Formula) logic.Formula { return logic.Ceps(g, eps, x) },
+	} {
+		a2 := logic.Imp(
+			logic.Conj(mk(phi), mk(logic.Imp(phi, psi))),
+			mk(psi),
+		)
+		valid, err := pm.Valid(a2)
+		if err != nil {
+			return err
+		}
+		if !valid {
+			return fmt.Errorf("temporal: consequence closure fails for stable facts: %s", a2)
+		}
+	}
+	return nil
+}
+
+// EpsBothWaysExample builds the Section 11 curiosity: a system and an
+// unstable fact φ with a point satisfying E^ε φ ∧ E^ε ¬φ (E^ε fails the
+// knowledge axiom because φ need only hold at SOME points of the
+// interval). It returns the model, the fact name, and a point where the
+// conjunction holds.
+func EpsBothWaysExample() (*runs.PointModel, string, string, runs.Time, error) {
+	// One run, two processors with identity clocks; the fact "blink"
+	// holds only at t = 2. Both processors know it at t = 2 (clocks pin
+	// the time) and know its negation at t = 4. With ε = 2 the interval
+	// [2, 4] witnesses both E^ε blink and E^ε ~blink at t = 3.
+	r := runs.NewRun("r", 2, 6)
+	r.SetIdentityClock(0)
+	r.SetIdentityClock(1)
+	sys, err := runs.NewSystem(r)
+	if err != nil {
+		return nil, "", "", 0, err
+	}
+	pm := sys.Model(runs.CompleteHistoryView, runs.Interpretation{
+		"blink": func(_ *runs.Run, t runs.Time) bool { return t == 2 },
+	})
+	return pm, "blink", "r", 3, nil
+}
+
+// CepsImpliesTower verifies that C^ε φ implies (E^ε)^k φ for k = 1..maxK
+// at every point (the half of the infinite-conjunction comparison that
+// always holds).
+func CepsImpliesTower(pm *runs.PointModel, g logic.Group, eps, maxK int, phi logic.Formula) error {
+	ce, err := pm.Eval(logic.Ceps(g, eps, phi))
+	if err != nil {
+		return err
+	}
+	cur := phi
+	for k := 1; k <= maxK; k++ {
+		cur = logic.Eeps(g, eps, cur)
+		set, err := pm.Eval(cur)
+		if err != nil {
+			return err
+		}
+		if !ce.SubsetOf(set) {
+			return fmt.Errorf("temporal: C^eps does not imply (E^eps)^%d", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package temporal
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// stableSystem: p0 sends m at 1, delivered at 2 or 3; identity clocks;
+// "sent" and "del" are stable, "blink" is not.
+func stableSystem(t *testing.T) *runs.PointModel {
+	t.Helper()
+	fast := runs.NewRun("fast", 2, 8)
+	fast.Send(0, 1, 1, 2, "m")
+	slow := runs.NewRun("slow", 2, 8)
+	slow.Send(0, 1, 1, 3, "m")
+	idle := runs.NewRun("idle", 2, 8)
+	for _, r := range []*runs.Run{fast, slow, idle} {
+		r.SetIdentityClock(0)
+		r.SetIdentityClock(1)
+	}
+	sys := runs.MustSystem(fast, slow, idle)
+	return sys.Model(runs.CompleteHistoryView, runs.Interpretation{
+		"sent":  runs.StablyTrue(runs.SentBy("m")),
+		"del":   runs.StablyTrue(runs.ReceivedBy("m")),
+		"blink": func(_ *runs.Run, tt runs.Time) bool { return tt == 2 },
+	})
+}
+
+func TestIsStable(t *testing.T) {
+	pm := stableSystem(t)
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{
+		{"sent", true},
+		{"del", true},
+		{"blink", false},
+		{"~sent", false}, // negation of a stable contingent fact is not stable
+		{"true", true},
+		{"K1 del", true}, // knowledge of stable facts is stable (complete histories)
+	} {
+		got, err := IsStable(pm, logic.MustParse(tc.src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("IsStable(%s) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestFootnote6Equivalence(t *testing.T) {
+	pm := stableSystem(t)
+	for _, eps := range []int{1, 2, 3} {
+		for _, src := range []string{"sent", "del"} {
+			if err := CheckFootnote6(pm, nil, eps, logic.MustParse(src)); err != nil {
+				t.Errorf("eps=%d %s: %v", eps, src, err)
+			}
+		}
+	}
+	// Unstable facts are rejected.
+	if err := CheckFootnote6(pm, nil, 1, logic.P("blink")); err == nil {
+		t.Error("footnote-6 check should reject unstable facts")
+	}
+}
+
+func TestStableConsequenceClosure(t *testing.T) {
+	pm := stableSystem(t)
+	// φ = del, ψ = sent: both stable, and del ⊃ sent is valid (hence
+	// stable).
+	if err := CheckStableConsequenceClosure(pm, nil, 2, logic.P("del"), logic.P("sent")); err != nil {
+		t.Error(err)
+	}
+	// Unstable inputs are rejected.
+	if err := CheckStableConsequenceClosure(pm, nil, 2, logic.P("blink"), logic.P("sent")); err == nil {
+		t.Error("consequence closure check should reject unstable facts")
+	}
+}
+
+func TestEpsBothWaysExample(t *testing.T) {
+	pm, fact, run, at, err := EpsBothWaysExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := logic.Conj(
+		logic.Eeps(nil, 2, logic.P(fact)),
+		logic.Eeps(nil, 2, logic.Neg(logic.P(fact))),
+	)
+	holds, err := pm.HoldsAt(conj, run, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Errorf("E^eps %s ∧ E^eps ~%s should hold at (%s, %d)", fact, fact, run, at)
+	}
+	// This is exactly why E^ε fails the knowledge axiom: A1 would force
+	// φ ∧ ¬φ.
+	a1 := logic.Imp(logic.Eeps(nil, 2, logic.P(fact)), logic.P(fact))
+	valid, err := pm.Valid(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid {
+		t.Error("A1 for E^eps should fail on the blink example")
+	}
+}
+
+func TestCepsImpliesTower(t *testing.T) {
+	pm := stableSystem(t)
+	if err := CepsImpliesTower(pm, nil, 1, 4, logic.P("sent")); err != nil {
+		t.Error(err)
+	}
+	okpm, err := OKSystem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CepsImpliesTower(okpm, nil, RoundLength, 3, logic.P(LossProp)); err != nil {
+		t.Error(err)
+	}
+}

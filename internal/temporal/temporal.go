@@ -1,0 +1,252 @@
+// Package temporal implements the analysis of the attainable variants of
+// common knowledge from Sections 11 and 12 of Halpern & Moses: machine
+// checkers for Theorem 9 (unreliable communication gates C^ε and C^⋄ on the
+// silent run), Theorem 11 (asynchronous channels cannot yield C^ε), and
+// Theorem 12 (the relationships between timestamped common knowledge C^T
+// and C, C^ε, C^⋄ under different clock regimes), plus the "OK protocol"
+// example showing that successful communication can prevent ε-common
+// knowledge.
+//
+// The temporal operators themselves are evaluated by the runs package; this
+// package supplies the theorem-level checks and example systems.
+package temporal
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+// noReceivesUpTo reports whether run r receives no messages strictly before
+// time t (t = horizon+1 means "in the whole run").
+func noReceivesUpTo(r *runs.Run, t runs.Time) bool {
+	return r.DeliveredBefore(t) == 0
+}
+
+// CheckTheorem9 verifies the conclusion of Theorem 9 on a point model for
+// the formula variant given by mk (which should build C^ε_G φ or C^⋄_G φ):
+// if the formula fails at every point of every silent run (no messages
+// received), then it fails at every point of every run with the same
+// initial configuration and clock readings as some silent run.
+//
+// It returns an error if the premise holds but the conclusion fails, and
+// ErrPremiseFails if no silent run satisfies the premise (so the theorem
+// says nothing about this system/formula pair).
+func CheckTheorem9(pm *runs.PointModel, mk func() logic.Formula) error {
+	sys := pm.Sys
+	set, err := pm.Eval(mk())
+	if err != nil {
+		return err
+	}
+	// Find silent runs where the formula fails throughout.
+	premiseRuns := make([]*runs.Run, 0)
+	for ri, r := range sys.Runs {
+		if !noReceivesUpTo(r, sys.Horizon+1) {
+			continue
+		}
+		failsThroughout := true
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			if set.Contains(pm.World(ri, t)) {
+				failsThroughout = false
+				break
+			}
+		}
+		if failsThroughout {
+			premiseRuns = append(premiseRuns, r)
+		}
+	}
+	if len(premiseRuns) == 0 {
+		return ErrPremiseFails
+	}
+	for ri, r := range sys.Runs {
+		for _, silent := range premiseRuns {
+			if !protocol.SameInitialConfig(r, silent) || !protocol.SameClockReadings(r, silent) {
+				continue
+			}
+			for t := runs.Time(0); t <= sys.Horizon; t++ {
+				if set.Contains(pm.World(ri, t)) {
+					return fmt.Errorf("temporal: Theorem 9 violated: %s holds at (%s,%d) though it fails throughout silent run %s",
+						mk(), r.Name, t, silent.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ErrPremiseFails indicates a theorem's premise does not hold on the given
+// system, so the theorem makes no claim about it.
+var ErrPremiseFails = fmt.Errorf("temporal: theorem premise does not hold on this system")
+
+// CheckTheorem12a verifies Theorem 12(a): if all processors' clocks show
+// identical readings at every point, then at every point where the (shared)
+// clock reads T, C^T_G φ and C_G φ have the same truth value.
+func CheckTheorem12a(pm *runs.PointModel, g logic.Group, ts int, phi logic.Formula) error {
+	sys := pm.Sys
+	if err := requireIdenticalClocks(sys); err != nil {
+		return err
+	}
+	ct, err := pm.Eval(logic.Ct(g, ts, phi))
+	if err != nil {
+		return err
+	}
+	c, err := pm.Eval(logic.C(g, phi))
+	if err != nil {
+		return err
+	}
+	for ri, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			reading, ok := r.ClockReading(0, t)
+			if !ok || reading != ts {
+				continue
+			}
+			w := pm.World(ri, t)
+			if ct.Contains(w) != c.Contains(w) {
+				return fmt.Errorf("temporal: Theorem 12(a) violated at (%s,%d): C^T=%v C=%v",
+					r.Name, t, ct.Contains(w), c.Contains(w))
+			}
+		}
+	}
+	return nil
+}
+
+func requireIdenticalClocks(sys *runs.System) error {
+	for _, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			var ref int
+			var have bool
+			for p := 0; p < sys.N; p++ {
+				c, ok := r.ClockReading(p, t)
+				if !ok {
+					return fmt.Errorf("temporal: processor %d has no clock reading at (%s,%d)", p, r.Name, t)
+				}
+				if !have {
+					ref, have = c, true
+				} else if c != ref {
+					return fmt.Errorf("temporal: clocks differ at (%s,%d)", r.Name, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTheorem12b verifies Theorem 12(b): if all clocks are within eps time
+// units of each other at every point, then at every point where some clock
+// reads T, C^T_G φ ⊃ C^ε_G φ.
+func CheckTheorem12b(pm *runs.PointModel, g logic.Group, ts, eps int, phi logic.Formula) error {
+	sys := pm.Sys
+	// Verify the clock-skew premise.
+	for _, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			lo, hi := 0, 0
+			first := true
+			for p := 0; p < sys.N; p++ {
+				c, ok := r.ClockReading(p, t)
+				if !ok {
+					continue
+				}
+				if first {
+					lo, hi, first = c, c, false
+				} else {
+					if c < lo {
+						lo = c
+					}
+					if c > hi {
+						hi = c
+					}
+				}
+			}
+			if hi-lo > eps {
+				return fmt.Errorf("temporal: clock skew %d exceeds eps=%d at (%s,%d)", hi-lo, eps, r.Name, t)
+			}
+		}
+	}
+	ct, err := pm.Eval(logic.Ct(g, ts, phi))
+	if err != nil {
+		return err
+	}
+	ce, err := pm.Eval(logic.Ceps(g, eps, phi))
+	if err != nil {
+		return err
+	}
+	for ri, r := range sys.Runs {
+		for t := runs.Time(0); t <= sys.Horizon; t++ {
+			atT := false
+			for p := 0; p < sys.N; p++ {
+				if c, ok := r.ClockReading(p, t); ok && c == ts {
+					atT = true
+					break
+				}
+			}
+			if !atT {
+				continue
+			}
+			w := pm.World(ri, t)
+			if ct.Contains(w) && !ce.Contains(w) {
+				return fmt.Errorf("temporal: Theorem 12(b) violated at (%s,%d)", r.Name, t)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTheorem12c verifies Theorem 12(c): if in every run every processor's
+// clock eventually reads T (within the horizon), then C^T_G φ ⊃ C^⋄_G φ is
+// valid.
+func CheckTheorem12c(pm *runs.PointModel, g logic.Group, ts int, phi logic.Formula) error {
+	sys := pm.Sys
+	for _, r := range sys.Runs {
+		for p := 0; p < sys.N; p++ {
+			reaches := false
+			for t := runs.Time(0); t <= sys.Horizon; t++ {
+				if c, ok := r.ClockReading(p, t); ok && c >= ts {
+					reaches = true
+					break
+				}
+			}
+			if !reaches {
+				return fmt.Errorf("temporal: clock of p%d never reads %d in run %s", p, ts, r.Name)
+			}
+		}
+	}
+	valid, err := pm.Valid(logic.Imp(logic.Ct(g, ts, phi), logic.Cev(g, phi)))
+	if err != nil {
+		return err
+	}
+	if !valid {
+		return fmt.Errorf("temporal: Theorem 12(c) violated: C^T does not imply C^⋄")
+	}
+	return nil
+}
+
+// TemporalHierarchy verifies the Section 11 inclusion chain on a model:
+// C φ ⊆ C^{ε1} φ ⊆ ... ⊆ C^{εk} φ ⊆ C^⋄ φ for ε1 <= ... <= εk.
+func TemporalHierarchy(pm *runs.PointModel, g logic.Group, phi logic.Formula, epsilons []int) error {
+	prev, err := pm.Eval(logic.C(g, phi))
+	if err != nil {
+		return err
+	}
+	prevName := "C"
+	for _, eps := range epsilons {
+		cur, err := pm.Eval(logic.Ceps(g, eps, phi))
+		if err != nil {
+			return err
+		}
+		if !prev.SubsetOf(cur) {
+			return fmt.Errorf("temporal: hierarchy violated: %s ⊄ Ce[%d]", prevName, eps)
+		}
+		prev = cur
+		prevName = fmt.Sprintf("Ce[%d]", eps)
+	}
+	cv, err := pm.Eval(logic.Cev(g, phi))
+	if err != nil {
+		return err
+	}
+	if !prev.SubsetOf(cv) {
+		return fmt.Errorf("temporal: hierarchy violated: %s ⊄ Cv", prevName)
+	}
+	return nil
+}

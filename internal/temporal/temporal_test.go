@@ -1,0 +1,310 @@
+package temporal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+// lossySystem builds a simple unreliable system: p0 sends m at time 1
+// (delivered at 2 or lost), identity clocks, from a "go" and an "idle"
+// configuration so that sending is informative.
+func lossySystem(t *testing.T, horizon runs.Time) *runs.PointModel {
+	t.Helper()
+	sender := protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+		if v.Init == "go" && v.HasClock && v.Clock == 1 && len(v.Sent) == 0 {
+			return []protocol.Outgoing{{To: 1, Payload: "m"}}
+		}
+		return nil
+	})
+	cfgs := []protocol.Config{
+		{Name: "go", Init: []string{"go", ""}, Clock: []int{0, 0}},
+		{Name: "idle", Init: []string{"", ""}, Clock: []int{0, 0}},
+	}
+	sys, err := protocol.Generate([]protocol.Protocol{sender, protocol.Silent},
+		protocol.Unreliable{Delay: 1}, cfgs, horizon, protocol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Model(runs.CompleteHistoryView, runs.Interpretation{
+		"del": runs.StablyTrue(runs.ReceivedBy("m")),
+	})
+}
+
+func TestTheorem9OnLossySystem(t *testing.T) {
+	pm := lossySystem(t, 5)
+	// C^ε del and C^⋄ del fail throughout the silent runs, so by Theorem 9
+	// they fail everywhere.
+	for _, mk := range []func() logic.Formula{
+		func() logic.Formula { return logic.Ceps(nil, 1, logic.P("del")) },
+		func() logic.Formula { return logic.Ceps(nil, 2, logic.P("del")) },
+		func() logic.Formula { return logic.Cev(nil, logic.P("del")) },
+	} {
+		if err := CheckTheorem9(pm, mk); err != nil {
+			t.Errorf("Theorem 9 for %s: %v", mk(), err)
+		}
+		// Direct corroboration: the formula holds nowhere.
+		set, err := pm.Eval(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !set.IsEmpty() {
+			t.Errorf("%s should fail everywhere in the lossy system, holds at %s", mk(), set)
+		}
+	}
+}
+
+func TestTheorem11OnAsyncSystem(t *testing.T) {
+	// One-shot send over an async channel: C^ε del fails in the silent run
+	// and hence (Theorem 11) everywhere, even though delivery is
+	// guaranteed eventually in the untruncated system.
+	sender := protocol.Func(func(v protocol.LocalView) []protocol.Outgoing {
+		if len(v.Sent) == 0 {
+			return []protocol.Outgoing{{To: 1, Payload: "m"}}
+		}
+		return nil
+	})
+	cfgs := []protocol.Config{{Name: "a", Init: []string{"", ""}}}
+	sys, err := protocol.Generate([]protocol.Protocol{sender, protocol.Silent},
+		protocol.Async{}, cfgs, 5, protocol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := sys.Model(runs.CompleteHistoryView, runs.Interpretation{
+		"del": runs.StablyTrue(runs.ReceivedBy("m")),
+	})
+	mk := func() logic.Formula { return logic.Ceps(nil, 2, logic.P("del")) }
+	if err := CheckTheorem9(pm, mk); err != nil {
+		t.Errorf("Theorem 11: %v", err)
+	}
+	set, err := pm.Eval(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.IsEmpty() {
+		t.Errorf("Ce[2] del should fail everywhere on the async channel, holds at %s", set)
+	}
+	// C^⋄ del, by contrast, is not ruled out by Theorem 11... but in the
+	// truncated system the premise of Theorem 9 holds for it too (the
+	// silent run never attains it), so it also fails. The distinction
+	// between C^ε and C^⋄ on reliable asynchronous channels is exercised
+	// in the runs package tests with guaranteed delivery.
+}
+
+func TestOKProtocolSuccessfulCommunicationPreventsEpsCK(t *testing.T) {
+	const horizon = 8
+	pm, err := OKSystem(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := pm.Sys
+
+	ce, err := pm.Eval(logic.MustParse("Ce[2] psi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi, err := pm.Eval(logic.MustParse("psi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ψ ⊃ Ee[2] ψ is valid (a processor that notices a missing OK stops
+	// sending, which its partner notices one round later), and hence by
+	// the induction rule ψ ⊃ Ce[2] ψ is valid too.
+	for _, src := range []string{"psi -> Ee[2] psi", "psi -> Ce[2] psi"} {
+		valid, err := pm.Valid(logic.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !valid {
+			t.Errorf("%s should be valid in the OK system", src)
+		}
+	}
+
+	// C^ε does not satisfy the knowledge axiom (Section 11): there are
+	// points where Ce[2] ψ holds but ψ itself is false — ψ only holds
+	// within ε of them.
+	violation := ce.Clone()
+	violation.AndNot(psi)
+	if violation.IsEmpty() {
+		t.Error("expected points where Ce[2] psi holds without psi (A1 failure for C^ε)")
+	}
+
+	// In the all-lost run, ψ (and hence Ce[2] ψ) holds from one round in.
+	lost, err := AllLostRun(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := pm.HoldsAt(logic.MustParse("Ce[2] psi"), lost, RoundLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("Ce[2] psi should hold at (%s, %d)", lost, RoundLength)
+	}
+
+	// In the fully delivered run, ψ is false throughout, so Ce[2] ψ never
+	// holds: sufficiently successful communication prevents the ε-common
+	// knowledge.
+	full, err := FullyDeliveredRun(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := runs.Time(0); tt <= sys.Horizon; tt++ {
+		w, err := pm.WorldOf(full, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce.Contains(w) {
+			t.Errorf("Ce[2] psi should fail at (%s, %d)", full, tt)
+		}
+		if psi.Contains(w) {
+			t.Errorf("psi should be false at (%s, %d)", full, tt)
+		}
+	}
+}
+
+// clockedMessageSystem builds a two-processor system where p0 sends m at
+// time 1 (delivered at 2 or lost), under a configurable clock-offset pair,
+// plus an idle configuration. offsets[p] shifts p's clock.
+func clockedMessageSystem(t *testing.T, horizon runs.Time, offsets [2]int) *runs.PointModel {
+	t.Helper()
+	mk := func(name string, send bool) *runs.Run {
+		r := runs.NewRun(name, 2, horizon)
+		r.SetShiftedClock(0, offsets[0])
+		r.SetShiftedClock(1, offsets[1])
+		if send {
+			return r
+		}
+		return r
+	}
+	sent := mk("sent_fast", true)
+	sent.Send(0, 1, 1, 2, "m")
+	slow := mk("sent_slow", true)
+	slow.Send(0, 1, 1, 3, "m")
+	idle := mk("idle", false)
+	sys := runs.MustSystem(sent, slow, idle)
+	return sys.Model(runs.CompleteHistoryView, runs.Interpretation{
+		"sent": runs.StablyTrue(runs.SentBy("m")),
+	})
+}
+
+func TestTheorem12aIdenticalClocks(t *testing.T) {
+	pm := clockedMessageSystem(t, 8, [2]int{0, 0})
+	for ts := 0; ts <= 8; ts++ {
+		if err := CheckTheorem12a(pm, nil, ts, logic.P("sent")); err != nil {
+			t.Errorf("Theorem 12(a) at T=%d: %v", ts, err)
+		}
+	}
+}
+
+func TestTheorem12bSkewedClocks(t *testing.T) {
+	pm := clockedMessageSystem(t, 8, [2]int{0, 1}) // skew 1 <= eps
+	for ts := 1; ts <= 8; ts++ {
+		if err := CheckTheorem12b(pm, nil, ts, 1, logic.P("sent")); err != nil {
+			t.Errorf("Theorem 12(b) at T=%d: %v", ts, err)
+		}
+	}
+	// The skew premise is enforced: eps=0 with skew 1 must be rejected.
+	if err := CheckTheorem12b(pm, nil, 3, 0, logic.P("sent")); err == nil {
+		t.Error("Theorem 12(b) should reject eps below the actual skew")
+	}
+}
+
+func TestTheorem12cEventualClocks(t *testing.T) {
+	pm := clockedMessageSystem(t, 8, [2]int{0, 2})
+	for ts := 2; ts <= 8; ts++ {
+		if err := CheckTheorem12c(pm, nil, ts, logic.P("sent")); err != nil {
+			t.Errorf("Theorem 12(c) at T=%d: %v", ts, err)
+		}
+	}
+	// A timestamp beyond the horizon violates the premise.
+	if err := CheckTheorem12c(pm, nil, 100, logic.P("sent")); err == nil {
+		t.Error("Theorem 12(c) should reject unreachable timestamps")
+	}
+}
+
+func TestTemporalHierarchyOnLossySystem(t *testing.T) {
+	pm := lossySystem(t, 6)
+	if err := TemporalHierarchy(pm, nil, logic.P("del"), []int{1, 2, 3}); err != nil {
+		t.Error(err)
+	}
+	pm2 := clockedMessageSystem(t, 8, [2]int{0, 0})
+	if err := TemporalHierarchy(pm2, nil, logic.P("sent"), []int{1, 2}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem9PremiseFailure(t *testing.T) {
+	// For ψ of the OK protocol, C^ε ψ HOLDS in the silent run, so Theorem
+	// 9's premise fails and the checker must say so rather than claim a
+	// violation.
+	pm, err := OKSystem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() logic.Formula { return logic.Ceps(nil, RoundLength, logic.P(LossProp)) }
+	err = CheckTheorem9(pm, mk)
+	if !errors.Is(err, ErrPremiseFails) {
+		t.Errorf("CheckTheorem9 = %v, want ErrPremiseFails", err)
+	}
+}
+
+func TestEarliestLoss(t *testing.T) {
+	r := runs.NewRun("r", 2, 6)
+	r.Send(0, 1, 0, 1, "a")
+	if EarliestLoss(r) != runs.Lost {
+		t.Error("run without losses should report Lost")
+	}
+	r.SendLost(1, 0, 4, "b")
+	r.SendLost(0, 1, 2, "c")
+	if got := EarliestLoss(r); got != 2 {
+		t.Errorf("EarliestLoss = %d, want 2", got)
+	}
+}
+
+func TestOKSystemRunStructure(t *testing.T) {
+	pm, err := OKSystem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.Sys.Runs) < 4 {
+		t.Fatalf("OK system has %d runs; expected several delivery outcomes", len(pm.Sys.Runs))
+	}
+	full, err := FullyDeliveredRun(pm.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := pm.Sys.RunByName(full)
+	// In the fully delivered run the protocol sends two messages per round
+	// at t = 0, 2, 4, 6.
+	if len(r.Messages) < 8 {
+		t.Errorf("fully delivered run has %d messages, want >= 8", len(r.Messages))
+	}
+	// No message is force-lost by truncation: every loss is a channel
+	// choice, and deliveries fit within the horizon.
+	for _, rr := range pm.Sys.Runs {
+		for _, m := range rr.Messages {
+			if m.Delivered() && m.RecvTime > pm.Sys.Horizon {
+				t.Errorf("run %s delivers beyond the horizon", rr.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkOKSystemCepsPsi(b *testing.B) {
+	pm, err := OKSystem(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := logic.MustParse("Ce[2] psi")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pm.Eval(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

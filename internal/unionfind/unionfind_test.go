@@ -1,0 +1,178 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if got := d.Components(); got != 5 {
+		t.Fatalf("Components() = %d, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, d.Find(i), i)
+		}
+		if d.SizeOf(i) != 1 {
+			t.Errorf("SizeOf(%d) = %d, want 1", i, d.SizeOf(i))
+		}
+	}
+}
+
+func TestUnionMerges(t *testing.T) {
+	d := New(6)
+	if !d.Union(0, 1) {
+		t.Error("first Union(0,1) should merge")
+	}
+	if d.Union(0, 1) {
+		t.Error("second Union(0,1) should be a no-op")
+	}
+	if !d.Same(0, 1) {
+		t.Error("0 and 1 should be in the same set")
+	}
+	if d.Same(0, 2) {
+		t.Error("0 and 2 should be in different sets")
+	}
+	d.Union(2, 3)
+	d.Union(1, 3)
+	if !d.Same(0, 2) {
+		t.Error("transitive union failed")
+	}
+	if got := d.Components(); got != 3 { // {0,1,2,3}, {4}, {5}
+		t.Errorf("Components() = %d, want 3", got)
+	}
+	if got := d.SizeOf(3); got != 4 {
+		t.Errorf("SizeOf(3) = %d, want 4", got)
+	}
+}
+
+func TestCompIDsDense(t *testing.T) {
+	d := New(7)
+	d.Union(0, 3)
+	d.Union(1, 4)
+	d.Union(4, 5)
+	ids := d.CompIDs()
+	if len(ids) != 7 {
+		t.Fatalf("len(ids) = %d", len(ids))
+	}
+	maxID := 0
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID != d.Components()-1 {
+		t.Errorf("ids not dense: max %d, components %d", maxID, d.Components())
+	}
+	if ids[0] != ids[3] || ids[1] != ids[4] || ids[4] != ids[5] {
+		t.Error("ids disagree with unions")
+	}
+	if ids[0] == ids[1] || ids[2] == ids[6] && ids[2] == ids[0] {
+		t.Error("distinct components share an id")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	d := New(5)
+	d.Union(0, 2)
+	d.Union(2, 4)
+	groups := d.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("len(groups) = %d, want 3", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		for i := 1; i < len(g); i++ {
+			if g[i-1] >= g[i] {
+				t.Error("group members not in increasing order")
+			}
+			if !d.Same(g[0], g[i]) {
+				t.Error("group contains members of different sets")
+			}
+		}
+	}
+	if total != 5 {
+		t.Errorf("groups cover %d elements, want 5", total)
+	}
+}
+
+func TestZeroAndNegative(t *testing.T) {
+	d := New(0)
+	if d.Len() != 0 || d.Components() != 0 {
+		t.Error("empty DSU malformed")
+	}
+	d = New(-3)
+	if d.Len() != 0 {
+		t.Error("negative size should clamp to zero")
+	}
+}
+
+// TestQuickEquivalenceRelation verifies that Same is an equivalence relation
+// consistent with an explicitly tracked reference partition.
+func TestQuickEquivalenceRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		d := New(n)
+		// reference: naive labeling
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			merged := d.Union(x, y)
+			if merged == (label[x] == label[y]) {
+				return false // Union's report disagrees with reference
+			}
+			if label[x] != label[y] {
+				relabel(label[x], label[y])
+			}
+		}
+		// components count agrees
+		uniq := map[int]bool{}
+		for _, l := range label {
+			uniq[l] = true
+		}
+		if len(uniq) != d.Components() {
+			return false
+		}
+		// pairwise Same agrees with labels
+		for k := 0; k < 50; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if d.Same(x, y) != (label[x] == label[y]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 14
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestQuickstart exercises the documented public API end to end.
+func TestQuickstart(t *testing.T) {
+	ok := repro.NewRun("ok", 2, 5)
+	ok.Send(0, 1, 1, 2, "m")
+	lost := repro.NewRun("lost", 2, 5)
+	lost.SendLost(0, 1, 1, "m")
+	sys := repro.MustSystem(ok, lost)
+	pm := sys.Model(repro.CompleteHistoryView, repro.Interpretation{
+		"sent": repro.StablyTrue(repro.SentBy("m")),
+	})
+	holds, err := pm.HoldsAt(repro.MustParse("K1 sent"), "ok", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Error("K1 sent should hold at (ok, 3)")
+	}
+	ck, err := pm.Eval(repro.MustParse("C sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.IsEmpty() {
+		t.Error("C sent should be unattainable")
+	}
+}
+
+func TestFormulaConstructorsMatchParser(t *testing.T) {
+	g := repro.NewGroup(0, 1)
+	pairs := []struct {
+		built repro.Formula
+		text  string
+	}{
+		{repro.K(0, repro.P("m")), "K0 m"},
+		{repro.C(g, repro.Conj(repro.P("m"), repro.K(1, repro.P("m")))), "C{0,1} (m & K1 m)"},
+		{repro.Ceps(nil, 2, repro.P("m")), "Ce[2] m"},
+		{repro.Cev(nil, repro.P("m")), "Cv m"},
+		{repro.Ct(nil, 5, repro.P("m")), "Ct[5] m"},
+		{repro.GFP("X", repro.E(nil, repro.Conj(repro.P("m"), repro.X("X")))), "nu X . E (m & X)"},
+	}
+	for _, p := range pairs {
+		parsed, err := repro.Parse(p.text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.text, err)
+		}
+		if parsed.String() != p.built.String() {
+			t.Errorf("constructor %s != parsed %s", p.built, parsed)
+		}
+	}
+}
+
+func TestGenerateViaFacade(t *testing.T) {
+	sender := repro.ProtocolFunc(func(v repro.LocalView) []repro.Outgoing {
+		if len(v.Sent) == 0 {
+			return []repro.Outgoing{{To: 1, Payload: "x"}}
+		}
+		return nil
+	})
+	sys, err := repro.Generate(
+		[]repro.Protocol{sender, repro.Silent},
+		repro.Unreliable{Delay: 1},
+		[]repro.GenConfig{{Name: "c", Init: []string{"", ""}}},
+		4, repro.GenOptions{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) != 2 {
+		t.Errorf("generated %d runs, want 2", len(sys.Runs))
+	}
+}
+
+func TestMuddyChildrenFacade(t *testing.T) {
+	res, err := repro.MuddyChildren(5, []int{0, 1, 2}, repro.PublicAnnouncement, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstYesRound != 3 || !res.YesAreMuddy {
+		t.Errorf("muddy children result = %+v", res)
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	exps := repro.Experiments()
+	if len(exps) != 17 {
+		t.Errorf("have %d experiments, want 17", len(exps))
+	}
+}
+
+func TestRunExperimentsFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in short mode")
+	}
+	reps, err := repro.RunExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		if !r.Pass {
+			t.Errorf("experiment %s failed:\n%s", r.ID, r)
+		}
+	}
+}
+
+func TestKnowledgeBasedProgramFacade(t *testing.T) {
+	prog, cfgs := repro.BitTransmission([]string{"1"}, 1)
+	res, err := repro.KBFixpoint(prog, repro.Reliable{Delay: 1}, cfgs, 6,
+		repro.GenOptions{MaxMessagesPerRun: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 1 || len(res.PM.Sys.Runs) == 0 {
+		t.Errorf("unexpected fixed point: %+v", res)
+	}
+}
+
+func TestKripkeModelFacade(t *testing.T) {
+	m := repro.NewModel(2, 1)
+	m.SetTrue(0, "p")
+	m.Indistinguishable(0, 0, 1)
+	set, err := m.Eval(repro.MustParse("K0 p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.IsEmpty() {
+		t.Error("K0 p should fail: worlds indistinguishable")
+	}
+	taut, err := m.Valid(repro.MustParse("K0 (p | ~p)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !taut {
+		t.Error("K0 of a tautology should be valid")
+	}
+}
