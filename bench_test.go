@@ -174,7 +174,7 @@ func BenchmarkAblationCommonByIteration(b *testing.B) {
 // Ablation: muddy children model size — the 2^n-world model construction
 // and a full simulation, as n grows.
 func BenchmarkAblationMuddyScaling(b *testing.B) {
-	for _, n := range []int{6, 9, 12} {
+	for _, n := range []int{6, 9, 12, 15} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			muddySet := []int{0, 1, 2}
 			b.ResetTimer()

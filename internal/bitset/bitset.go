@@ -164,12 +164,33 @@ func (s *Set) AndNot(other *Set) {
 	}
 }
 
+// Xor replaces s with the symmetric difference s △ other.
+func (s *Set) Xor(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] ^= other.words[i]
+	}
+}
+
 // Not replaces s with its complement relative to the universe.
 func (s *Set) Not() {
 	for i := range s.words {
 		s.words[i] = ^s.words[i]
 	}
 	s.trim()
+}
+
+// ContainsAll reports whether s is a superset of other (other ⊆ s) — the
+// flipped form of SubsetOf, reading in argument order. One AND-NOT per
+// word, no per-element probing.
+func (s *Set) ContainsAll(other *Set) bool {
+	s.mustMatch(other)
+	for i, w := range other.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // SubsetOf reports whether every element of s is also in other.
@@ -237,6 +258,34 @@ func (s *Set) Next(i int) int {
 		}
 	}
 	return -1
+}
+
+// NextSet returns the smallest element >= i together with true, or (0,
+// false) if no element >= i exists — the explicit-ok twin of Next, for
+// callers that would otherwise have to treat -1 as a sentinel.
+func (s *Set) NextSet(i int) (int, bool) {
+	n := s.Next(i)
+	if n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Words exposes the backing word slice of the set: bit i of Words()[i/64]
+// is set iff i is a member. The slice is shared with the set, not a copy —
+// callers may read and write it to implement word-level kernels, but must
+// not set bits at or beyond Cap() (use WordMask for the final partial
+// word).
+func (s *Set) Words() []uint64 { return s.words }
+
+// WordMask returns the mask of in-universe bits for word wi: all ones for
+// interior words and the partial mask for the final word of a capacity that
+// is not a multiple of 64.
+func (s *Set) WordMask(wi int) uint64 {
+	if wi == len(s.words)-1 && s.n%wordBits != 0 {
+		return (1 << (uint(s.n) % wordBits)) - 1
+	}
+	return ^uint64(0)
 }
 
 // String renders the set as "{e1, e2, ...}".

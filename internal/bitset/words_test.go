@@ -1,0 +1,96 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsAndWordMask(t *testing.T) {
+	s := New(70) // two words, second one partial
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(69)
+	w := s.Words()
+	if len(w) != 2 {
+		t.Fatalf("Words len = %d, want 2", len(w))
+	}
+	if w[0] != 1|1<<63 {
+		t.Errorf("word 0 = %x", w[0])
+	}
+	if w[1] != 1|1<<5 {
+		t.Errorf("word 1 = %x", w[1])
+	}
+	if s.WordMask(0) != ^uint64(0) {
+		t.Errorf("WordMask(0) = %x, want all ones", s.WordMask(0))
+	}
+	if s.WordMask(1) != (1<<6)-1 {
+		t.Errorf("WordMask(1) = %x, want 0x3f", s.WordMask(1))
+	}
+	// Words is the live backing store: writes are visible to the set.
+	w[1] |= 1 << 2
+	if !s.Contains(66) {
+		t.Error("write through Words not visible")
+	}
+	// A multiple-of-64 capacity has a full final mask.
+	if New(128).WordMask(1) != ^uint64(0) {
+		t.Error("WordMask of full final word should be all ones")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	for _, e := range []int{3, 64, 150} {
+		s.Add(e)
+	}
+	got := []int{}
+	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 64 || got[2] != 150 {
+		t.Errorf("NextSet walk = %v", got)
+	}
+	if _, ok := s.NextSet(151); ok {
+		t.Error("NextSet past the last element should report false")
+	}
+	if _, ok := New(10).NextSet(0); ok {
+		t.Error("NextSet on empty set should report false")
+	}
+}
+
+func TestContainsAllAndXor(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		// ContainsAll is the flipped SubsetOf.
+		if a.ContainsAll(b) != b.SubsetOf(a) {
+			return false
+		}
+		sup := Or(a, b)
+		if !sup.ContainsAll(a) || !sup.ContainsAll(b) {
+			return false
+		}
+		// Xor agrees with the elementwise definition.
+		x := a.Clone()
+		x.Xor(b)
+		for i := 0; i < n; i++ {
+			if x.Contains(i) != (a.Contains(i) != b.Contains(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -13,17 +13,125 @@ import (
 // knowledge variants) on a model without temporal structure.
 var ErrTemporal = errors.New("kripke: temporal operator requires a model with run/time structure")
 
-// Env binds fixed-point variables to world sets during evaluation.
+// Env binds fixed-point variables to world sets during evaluation. The
+// evaluator reads the bound sets without copying; callers must not mutate
+// them while an evaluation is in flight.
 type Env map[string]*bitset.Set
 
-// clone returns a shallow copy with one extra binding.
-func (e Env) with(name string, s *bitset.Set) Env {
-	c := make(Env, len(e)+1)
-	for k, v := range e {
-		c[k] = v
+// binding is the evaluator's internal environment: a linked chain of
+// variable bindings. Pushing a fixed-point binder is a single node, and
+// lookup walks outward so inner binders shadow outer ones — the zero-copy
+// replacement for cloning an Env map per fixpoint iteration.
+type binding struct {
+	name string
+	set  *bitset.Set
+	prev *binding
+}
+
+func (b *binding) lookup(name string) *bitset.Set {
+	for ; b != nil; b = b.prev {
+		if b.name == name {
+			return b.set
+		}
 	}
-	c[name] = s
-	return c
+	return nil
+}
+
+// evaluator is the reusable evaluation state pooled on each model: a
+// freelist of scratch world sets, the kernel scratch, a memo table of
+// closed-subformula denotations keyed by structural key (logic.AppendKey),
+// and the key arena those keys are built in. A steady-state Eval allocates
+// almost nothing: sets are recycled through the freelist and keys through
+// the arena.
+type evaluator struct {
+	m *Model
+	t *derived
+
+	ks    kernelScratch
+	free  []*bitset.Set
+	arena []byte
+
+	memo    map[string]*bitset.Set
+	retired []*bitset.Set // memo values owned by the evaluator, recycled on reset
+
+	empty *bitset.Set // canonical shared ∅ (never mutated)
+	full  *bitset.Set // canonical shared universe (never mutated)
+
+	fixIters int // iteration count of the most recent outermost fixpoint
+}
+
+func (m *Model) getEvaluator() *evaluator {
+	if ev, ok := m.evalPool.Get().(*evaluator); ok && ev != nil {
+		ev.t = m.tables()
+		return ev
+	}
+	return &evaluator{
+		m:    m,
+		t:    m.tables(),
+		memo: make(map[string]*bitset.Set),
+	}
+}
+
+func (m *Model) putEvaluator(ev *evaluator) {
+	ev.free = append(ev.free, ev.retired...)
+	ev.retired = ev.retired[:0]
+	clear(ev.memo)
+	ev.arena = ev.arena[:0]
+	m.evalPool.Put(ev)
+}
+
+// keyScratch exposes the evaluator's key arena tail for group-cache keys.
+func (ev *evaluator) keyScratch() []byte {
+	return ev.arena[len(ev.arena):]
+}
+
+// alloc hands out a scratch set in an unspecified state; the caller must
+// Fill, Clear or Copy before reading it.
+func (ev *evaluator) alloc() *bitset.Set {
+	if n := len(ev.free); n > 0 {
+		s := ev.free[n-1]
+		ev.free = ev.free[:n-1]
+		return s
+	}
+	return bitset.New(ev.m.numWorlds)
+}
+
+func (ev *evaluator) release(s *bitset.Set) {
+	ev.free = append(ev.free, s)
+}
+
+// releaseIf returns owned sets to the freelist; shared sets (valuation
+// columns, memo entries, environment bindings, the canonical constants)
+// are left alone.
+func (ev *evaluator) releaseIf(s *bitset.Set, owned bool) {
+	if owned {
+		ev.free = append(ev.free, s)
+	}
+}
+
+// ensureOwned returns s itself when owned, or a scratch copy otherwise, so
+// the caller may mutate the result in place.
+func (ev *evaluator) ensureOwned(s *bitset.Set, owned bool) *bitset.Set {
+	if owned {
+		return s
+	}
+	d := ev.alloc()
+	d.Copy(s)
+	return d
+}
+
+func (ev *evaluator) emptySet() *bitset.Set {
+	if ev.empty == nil {
+		ev.empty = bitset.New(ev.m.numWorlds)
+	}
+	return ev.empty
+}
+
+func (ev *evaluator) fullSet() *bitset.Set {
+	if ev.full == nil {
+		ev.full = bitset.NewFull(ev.m.numWorlds)
+	}
+	return ev.full
 }
 
 // resolveGroup expands a (possibly nil) group into explicit agent indices,
@@ -46,6 +154,15 @@ func (m *Model) resolveGroup(g logic.Group) ([]int, error) {
 	return out, nil
 }
 
+// resolveAgents is resolveGroup without the nil-group allocation: the full
+// agent set resolves to the index slice prebuilt with the derived tables.
+func (ev *evaluator) resolveAgents(g logic.Group) ([]int, error) {
+	if g == nil {
+		return ev.t.allAgents, nil
+	}
+	return ev.m.resolveGroup(g)
+}
+
 // Eval returns the set of worlds at which f holds. The formula must be
 // closed (no free fixed-point variables).
 func (m *Model) Eval(f logic.Formula) (*bitset.Set, error) {
@@ -53,164 +170,289 @@ func (m *Model) Eval(f logic.Formula) (*bitset.Set, error) {
 }
 
 // EvalEnv evaluates f under an environment binding free fixed-point
-// variables to world sets.
+// variables to world sets. The returned set is owned by the caller.
 func (m *Model) EvalEnv(f logic.Formula, env Env) (*bitset.Set, error) {
+	ev := m.getEvaluator()
+	defer m.putEvaluator(ev)
+	var chain *binding
+	for name, set := range env {
+		chain = &binding{name: name, set: set, prev: chain}
+	}
+	s, owned, err := ev.eval(f, chain)
+	if err != nil {
+		return nil, err
+	}
+	if owned {
+		return s, nil // hand the scratch set out of the pool
+	}
+	return s.Clone(), nil
+}
+
+// eval computes the denotation of f. The returned flag reports ownership:
+// owned sets are scratch the caller may mutate or release; shared sets
+// (valuation columns, memo hits, bindings, constants) must be treated as
+// immutable.
+func (ev *evaluator) eval(f logic.Formula, env *binding) (*bitset.Set, bool, error) {
+	// Atoms: no memoization needed, their lookups are already O(1).
 	switch n := f.(type) {
 	case logic.Prop:
-		return m.FactSet(n.Name), nil
+		if s := ev.m.factShared(n.Name); s != nil {
+			return s, false, nil
+		}
+		return ev.emptySet(), false, nil
 
 	case logic.Truth:
 		if n.Value {
-			return bitset.NewFull(m.numWorlds), nil
+			return ev.fullSet(), false, nil
 		}
-		return bitset.New(m.numWorlds), nil
+		return ev.emptySet(), false, nil
 
 	case logic.Var:
-		if s, ok := env[n.Name]; ok {
-			return s.Clone(), nil
+		if s := env.lookup(n.Name); s != nil {
+			return s, false, nil
 		}
-		return nil, fmt.Errorf("kripke: unbound fixed-point variable %s", n.Name)
+		return nil, false, fmt.Errorf("kripke: unbound fixed-point variable %s", n.Name)
+	}
 
-	case logic.Not:
-		s, err := m.EvalEnv(n.F, env)
-		if err != nil {
-			return nil, err
+	// Modal and fixed-point nodes: memoize closed subformulas by
+	// structural key within this evaluation, so shared subterms — and in
+	// particular closed subformulas of fixed-point bodies, which are
+	// revisited once per iteration — run their kernels exactly once.
+	// Propositional connectives are not worth the key: recomputing them is
+	// a handful of word operations.
+	switch f.(type) {
+	case logic.Know, logic.Someone, logic.Everyone, logic.Dist, logic.Common,
+		logic.Nu, logic.Mu,
+		logic.EveryEps, logic.CommonEps, logic.EveryEv, logic.CommonEv,
+		logic.EveryTime, logic.CommonTime, logic.Eventually, logic.Always:
+		start := len(ev.arena)
+		var closed bool
+		ev.arena, closed = logic.AppendKey(ev.arena, f, nil)
+		if closed {
+			if s, ok := ev.memo[string(ev.arena[start:])]; ok {
+				ev.arena = ev.arena[:start]
+				return s, false, nil
+			}
 		}
+		s, owned, err := ev.evalCompound(f, env)
+		if err == nil && closed {
+			ev.memo[string(ev.arena[start:])] = s
+			if owned {
+				ev.retired = append(ev.retired, s)
+				owned = false
+			}
+		}
+		ev.arena = ev.arena[:start]
+		return s, owned, err
+	}
+	return ev.evalCompound(f, env)
+}
+
+func (ev *evaluator) evalCompound(f logic.Formula, env *binding) (*bitset.Set, bool, error) {
+	switch n := f.(type) {
+	case logic.Not:
+		s, owned, err := ev.eval(n.F, env)
+		if err != nil {
+			return nil, false, err
+		}
+		s = ev.ensureOwned(s, owned)
 		s.Not()
-		return s, nil
+		return s, true, nil
 
 	case logic.And:
-		out := bitset.NewFull(m.numWorlds)
+		var acc *bitset.Set
 		for _, c := range n.Fs {
-			s, err := m.EvalEnv(c, env)
+			s, owned, err := ev.eval(c, env)
 			if err != nil {
-				return nil, err
+				if acc != nil {
+					ev.release(acc)
+				}
+				return nil, false, err
 			}
-			out.And(s)
+			if acc == nil {
+				acc = ev.ensureOwned(s, owned)
+				continue
+			}
+			acc.And(s)
+			ev.releaseIf(s, owned)
 		}
-		return out, nil
+		if acc == nil {
+			return ev.fullSet(), false, nil // empty conjunction is true
+		}
+		return acc, true, nil
 
 	case logic.Or:
-		out := bitset.New(m.numWorlds)
+		var acc *bitset.Set
 		for _, c := range n.Fs {
-			s, err := m.EvalEnv(c, env)
+			s, owned, err := ev.eval(c, env)
 			if err != nil {
-				return nil, err
+				if acc != nil {
+					ev.release(acc)
+				}
+				return nil, false, err
 			}
-			out.Or(s)
+			if acc == nil {
+				acc = ev.ensureOwned(s, owned)
+				continue
+			}
+			acc.Or(s)
+			ev.releaseIf(s, owned)
 		}
-		return out, nil
+		if acc == nil {
+			return ev.emptySet(), false, nil // empty disjunction is false
+		}
+		return acc, true, nil
 
 	case logic.Implies:
-		ant, err := m.EvalEnv(n.Ant, env)
+		ant, owned, err := ev.eval(n.Ant, env)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		cons, err := m.EvalEnv(n.Cons, env)
+		ant = ev.ensureOwned(ant, owned)
+		cons, cOwned, err := ev.eval(n.Cons, env)
 		if err != nil {
-			return nil, err
+			ev.release(ant)
+			return nil, false, err
 		}
 		ant.Not()
 		ant.Or(cons)
-		return ant, nil
+		ev.releaseIf(cons, cOwned)
+		return ant, true, nil
 
 	case logic.Iff:
-		l, err := m.EvalEnv(n.L, env)
+		l, owned, err := ev.eval(n.L, env)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		r, err := m.EvalEnv(n.R, env)
+		l = ev.ensureOwned(l, owned)
+		r, rOwned, err := ev.eval(n.R, env)
 		if err != nil {
-			return nil, err
+			ev.release(l)
+			return nil, false, err
 		}
-		// (l ∧ r) ∪ (¬l ∧ ¬r)
-		both := bitset.And(l, r)
+		// l ≡ r is ¬(l ⊕ r).
+		l.Xor(r)
 		l.Not()
-		r.Not()
-		l.And(r)
-		both.Or(l)
-		return both, nil
+		ev.releaseIf(r, rOwned)
+		return l, true, nil
 
 	case logic.Know:
-		if int(n.Agent) < 0 || int(n.Agent) >= m.numAgents {
-			return nil, fmt.Errorf("kripke: agent %d out of range [0,%d)", n.Agent, m.numAgents)
+		if int(n.Agent) < 0 || int(n.Agent) >= ev.m.numAgents {
+			return nil, false, fmt.Errorf("kripke: agent %d out of range [0,%d)", n.Agent, ev.m.numAgents)
 		}
-		s, err := m.EvalEnv(n.F, env)
+		phi, owned, err := ev.eval(n.F, env)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return m.knowSet(int(n.Agent), s), nil
+		dst := ev.alloc()
+		ev.t.parts[n.Agent].knowInto(dst, phi, &ev.ks)
+		ev.releaseIf(phi, owned)
+		return dst, true, nil
 
 	case logic.Someone:
-		agents, err := m.resolveGroup(n.G)
+		agents, err := ev.resolveAgents(n.G)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		s, err := m.EvalEnv(n.F, env)
+		phi, owned, err := ev.eval(n.F, env)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		out := bitset.New(m.numWorlds)
+		dst := ev.alloc()
+		dst.Clear()
+		tmp := ev.alloc()
 		for _, a := range agents {
-			out.Or(m.knowSet(a, s))
+			ev.t.parts[a].knowInto(tmp, phi, &ev.ks)
+			dst.Or(tmp)
 		}
-		return out, nil
+		ev.release(tmp)
+		ev.releaseIf(phi, owned)
+		return dst, true, nil
 
 	case logic.Everyone:
-		agents, err := m.resolveGroup(n.G)
+		agents, err := ev.resolveAgents(n.G)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		s, err := m.EvalEnv(n.F, env)
+		phi, owned, err := ev.eval(n.F, env)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		out := bitset.NewFull(m.numWorlds)
+		dst := ev.alloc()
+		dst.Fill()
 		for _, a := range agents {
-			out.And(m.knowSet(a, s))
+			ev.t.parts[a].andKnowInto(dst, phi, &ev.ks)
 		}
-		return out, nil
+		ev.releaseIf(phi, owned)
+		return dst, true, nil
 
 	case logic.Dist:
-		agents, err := m.resolveGroup(n.G)
+		agents, err := ev.resolveAgents(n.G)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		s, err := m.EvalEnv(n.F, env)
+		phi, owned, err := ev.eval(n.F, env)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return m.distSet(agents, s), nil
+		if len(agents) == 0 {
+			return phi, owned, nil
+		}
+		p := ev.m.jointPartition(ev.t, agents, ev.keyScratch())
+		dst := ev.alloc()
+		p.knowInto(dst, phi, &ev.ks)
+		ev.releaseIf(phi, owned)
+		return dst, true, nil
 
 	case logic.Common:
-		agents, err := m.resolveGroup(n.G)
+		agents, err := ev.resolveAgents(n.G)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		s, err := m.EvalEnv(n.F, env)
+		phi, owned, err := ev.eval(n.F, env)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return m.commonSet(agents, s), nil
+		if len(agents) == 0 {
+			return phi, owned, nil
+		}
+		p := ev.m.reachPartition(ev.t, agents, ev.keyScratch())
+		dst := ev.alloc()
+		p.knowInto(dst, phi, &ev.ks)
+		ev.releaseIf(phi, owned)
+		return dst, true, nil
 
 	case logic.Nu:
-		return m.fixpoint(n.Var, n.Body, env, true)
+		return ev.fixpoint(n.Var, n.Body, env, true)
 
 	case logic.Mu:
-		return m.fixpoint(n.Var, n.Body, env, false)
+		return ev.fixpoint(n.Var, n.Body, env, false)
 
 	case logic.EveryEps, logic.CommonEps, logic.EveryEv, logic.CommonEv,
 		logic.EveryTime, logic.CommonTime, logic.Eventually, logic.Always:
-		if m.Temporal == nil {
-			return nil, fmt.Errorf("%w: %s", ErrTemporal, f)
+		if ev.m.Temporal == nil {
+			return nil, false, fmt.Errorf("%w: %s", ErrTemporal, f)
 		}
 		rec := func(sub logic.Formula) (*bitset.Set, error) {
-			return m.EvalEnv(sub, env)
+			s, owned, err := ev.eval(sub, env)
+			if err != nil {
+				return nil, err
+			}
+			if !owned {
+				// The temporal semantics may mutate or retain the set;
+				// hand it an independent copy of shared state.
+				return s.Clone(), nil
+			}
+			return s, nil
 		}
-		return m.Temporal.EvalTemporal(m, f, rec)
+		s, err := ev.m.Temporal.EvalTemporal(ev.m, f, rec)
+		if err != nil {
+			return nil, false, err
+		}
+		return s, true, nil
 
 	default:
-		return nil, fmt.Errorf("kripke: unsupported formula %T", f)
+		return nil, false, fmt.Errorf("kripke: unsupported formula %T", f)
 	}
 }
 
@@ -219,44 +461,53 @@ func (m *Model) EvalEnv(f logic.Formula, env Env) (*bitset.Set, error) {
 // iteration converges in at most NumWorlds+1 steps for monotone bodies;
 // non-monotone bodies (which WellFormed rejects) would oscillate, so the
 // iteration is capped and an error returned if no fixed point is reached.
-func (m *Model) fixpoint(name string, body logic.Formula, env Env, greatest bool) (*bitset.Set, error) {
+//
+// The iteration runs in place: the binding's set is a single scratch
+// buffer the next approximant is copied into, and closed subformulas of
+// the body hit the evaluator memo, so each step costs one body evaluation
+// over the open part of the formula and no allocation.
+func (ev *evaluator) fixpoint(name string, body logic.Formula, env *binding, greatest bool) (*bitset.Set, bool, error) {
 	if p := logic.PolarityOf(body, name); p == logic.PolarityNegative || p == logic.PolarityMixed {
-		return nil, fmt.Errorf("kripke: %s occurs non-positively in fixed point body %s", name, body)
+		return nil, false, fmt.Errorf("kripke: %s occurs non-positively in fixed point body %s", name, body)
 	}
-	var cur *bitset.Set
+	cur := ev.alloc()
 	if greatest {
-		cur = bitset.NewFull(m.numWorlds)
+		cur.Fill()
 	} else {
-		cur = bitset.New(m.numWorlds)
+		cur.Clear()
 	}
-	for iter := 0; iter <= m.numWorlds+1; iter++ {
-		next, err := m.EvalEnv(body, env.with(name, cur))
+	b := &binding{name: name, set: cur, prev: env}
+	for iter := 0; iter <= ev.m.numWorlds+1; iter++ {
+		next, owned, err := ev.eval(body, b)
 		if err != nil {
-			return nil, err
+			ev.release(cur)
+			return nil, false, err
 		}
 		if next.Equal(cur) {
-			return cur, nil
+			ev.releaseIf(next, owned)
+			ev.fixIters = iter
+			return cur, true, nil
 		}
-		cur = next
+		cur.Copy(next)
+		ev.releaseIf(next, owned)
 	}
-	return nil, fmt.Errorf("kripke: fixed point for %s did not converge", name)
+	ev.release(cur)
+	return nil, false, fmt.Errorf("kripke: fixed point for %s did not converge", name)
 }
 
 // FixpointIterations computes νX.body and additionally reports the number
 // of iterations needed to converge (for the Appendix A experiments).
 func (m *Model) FixpointIterations(name string, body logic.Formula) (*bitset.Set, int, error) {
-	cur := bitset.NewFull(m.numWorlds)
-	for iter := 0; iter <= m.numWorlds+1; iter++ {
-		next, err := m.EvalEnv(body, Env{}.with(name, cur))
-		if err != nil {
-			return nil, 0, err
-		}
-		if next.Equal(cur) {
-			return cur, iter, nil
-		}
-		cur = next
+	ev := m.getEvaluator()
+	defer m.putEvaluator(ev)
+	s, owned, err := ev.fixpoint(name, body, nil, true)
+	if err != nil {
+		return nil, 0, err
 	}
-	return nil, 0, fmt.Errorf("kripke: fixed point for %s did not converge", name)
+	if !owned {
+		s = s.Clone()
+	}
+	return s, ev.fixIters, nil
 }
 
 // Holds reports whether f holds at world w.
@@ -311,11 +562,13 @@ func (m *Model) EKPrefix(g logic.Group, f logic.Formula, k int) ([]*bitset.Set, 
 	if err != nil {
 		return nil, err
 	}
+	ev := m.getEvaluator()
+	defer m.putEvaluator(ev)
 	out := make([]*bitset.Set, 0, k)
 	for i := 1; i <= k; i++ {
-		next := bitset.NewFull(m.numWorlds)
+		next := bitset.NewFull(m.numWorlds) // escapes to the caller
 		for _, a := range agents {
-			next.And(m.knowSet(a, cur))
+			ev.t.parts[a].andKnowInto(next, cur, &ev.ks)
 		}
 		out = append(out, next)
 		cur = next

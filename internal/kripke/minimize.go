@@ -21,7 +21,7 @@ import (
 // hook is not carried over; minimize only models whose formulas are free
 // of the run-based operators.
 func (m *Model) Minimize() (*Model, []int) {
-	m.ensureClasses()
+	t := m.tables()
 
 	// Initial partition: by fact signature.
 	block := make([]int, m.numWorlds)
@@ -63,7 +63,7 @@ func (m *Model) Minimize() (*Model, []int) {
 		for a := 0; a < m.numAgents; a++ {
 			members := make(map[int][]int)
 			for w := 0; w < m.numWorlds; w++ {
-				id := m.classes[a][w]
+				id := int(t.parts[a].ids[w])
 				members[id] = append(members[id], block[w])
 			}
 			for id, blocks := range members {
@@ -83,7 +83,7 @@ func (m *Model) Minimize() (*Model, []int) {
 			var b strings.Builder
 			fmt.Fprintf(&b, "%d|", block[w])
 			for a := 0; a < m.numAgents; a++ {
-				b.WriteString(classBlocks[a][m.classes[a][w]])
+				b.WriteString(classBlocks[a][int(t.parts[a].ids[w])])
 				b.WriteByte('|')
 			}
 			key := b.String()
@@ -131,7 +131,7 @@ func (m *Model) Minimize() (*Model, []int) {
 		// Blocks are a-indistinguishable iff some members are.
 		first := make(map[int]int) // class id -> block
 		for w := 0; w < m.numWorlds; w++ {
-			id := m.classes[a][w]
+			id := int(t.parts[a].ids[w])
 			if prev, ok := first[id]; ok {
 				q.Indistinguishable(a, prev, block[w])
 			} else {

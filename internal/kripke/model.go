@@ -16,10 +16,36 @@
 // The package also provides public-announcement updates (the father's
 // announcement in the muddy children puzzle is Announce) and validity
 // checking used by the axiom checkers in axioms.go.
+//
+// # Evaluation architecture: masks and caches
+//
+// Formula denotations are bit sets over the worlds, and every knowledge
+// operator reduces to one kernel over a partition of the worlds (the
+// agent's view classes for K_i, their common refinement for D_G, the
+// G-reachability components for C_G). Each partition is materialized once
+// as per-class bitset masks in CSR layout (see partition.go) and the
+// kernel works on whole 64-bit words: classes that escape φ are found by
+// scanning only ¬φ, and are removed from the full set by word-level
+// AND-NOT of their masks.
+//
+// The derived tables are built lazily and cached on the model behind an
+// atomic pointer: the per-agent partitions on first use, and one partition
+// per distinct agent group for D_G refinements and C_G reachability
+// components (so fixed-point iteration re-uses the component structure
+// instead of rebuilding a union-find per step). Construction calls
+// (Indistinguishable) invalidate the tables. Evaluation itself runs on a
+// pooled evaluator that memoizes closed subformula denotations by
+// structural key and recycles scratch sets, making steady-state Eval
+// near-allocation-free. All caches are safe for concurrent Eval on a fully
+// constructed model.
 package kripke
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/logic"
@@ -29,7 +55,7 @@ import (
 // Model is a finite epistemic model. Create one with NewModel, add facts and
 // indistinguishability edges, then evaluate formulas with Eval. Models may
 // be evaluated concurrently once fully constructed, but construction is not
-// safe for concurrent use.
+// safe for concurrent use (nor concurrent with evaluation).
 type Model struct {
 	numWorlds int
 	numAgents int
@@ -38,18 +64,37 @@ type Model struct {
 	nameIdx map[string]int // reverse lookup for named worlds
 
 	// dsu[a] accumulates agent a's indistinguishability relation during
-	// construction; class tables are derived lazily and invalidated by
-	// Indistinguishable.
-	dsu     []*unionfind.DSU
-	classes [][]int // classes[a][w] = dense class id of w for agent a
-	nclass  []int   // number of classes per agent
+	// construction; the derived partition tables are built lazily and
+	// invalidated by Indistinguishable.
+	dsu []*unionfind.DSU
 
 	valuation map[string]*bitset.Set
+
+	// derived caches the partition tables; buildMu serializes their
+	// (re)construction so concurrent evaluators build them once.
+	derived atomic.Pointer[derived]
+	buildMu sync.Mutex
+
+	// evalPool recycles evaluators (scratch sets, memo tables, kernel
+	// state) across Eval calls.
+	evalPool sync.Pool
 
 	// Temporal, if non-nil, evaluates the run-based operators of Sections
 	// 11–12 (E^ε, E^⋄, E^T and their C variants) and the linear-time ◇/□.
 	// Plain Kripke models reject those operators.
 	Temporal TemporalSemantics
+}
+
+// derived holds everything computed from the construction-time DSUs: the
+// per-agent view partitions, plus memoized per-group partitions for the
+// D_G common refinement and the C_G reachability components.
+type derived struct {
+	parts     []*partition // per-agent view partitions
+	allAgents []int        // 0..numAgents-1, the resolution of the nil group
+
+	mu    sync.RWMutex
+	reach map[string]*partition // group key -> G-reachability components
+	joint map[string]*partition // group key -> common refinement of views
 }
 
 // TemporalSemantics evaluates temporal operators over a model whose worlds
@@ -124,6 +169,19 @@ func (m *Model) SetFact(w int, prop string, value bool) {
 	}
 }
 
+// setFactSet installs a whole valuation column at once (internal bulk
+// constructor used by Restrict and RefineAgent).
+func (m *Model) setFactSet(prop string, set *bitset.Set) {
+	m.valuation[prop] = set
+}
+
+// factShared returns the internal world set of prop (nil if the fact is
+// unknown). The evaluator reads it without copying; callers must not
+// mutate it.
+func (m *Model) factShared(prop string) *bitset.Set {
+	return m.valuation[prop]
+}
+
 // FactSet returns the set of worlds where prop holds. Unknown facts hold
 // nowhere. The returned set is a copy.
 func (m *Model) FactSet(prop string) *bitset.Set {
@@ -133,12 +191,14 @@ func (m *Model) FactSet(prop string) *bitset.Set {
 	return bitset.New(m.numWorlds)
 }
 
-// Facts returns the names of all ground facts with a valuation entry.
+// Facts returns the names of all ground facts with a valuation entry, in
+// sorted order (so reports built from it are deterministic).
 func (m *Model) Facts() []string {
 	out := make([]string, 0, len(m.valuation))
 	for name := range m.valuation {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -147,8 +207,9 @@ func (m *Model) Facts() []string {
 // relation is closed under reflexivity, symmetry and transitivity
 // automatically, as required for view-based (S5) interpretations.
 func (m *Model) Indistinguishable(a int, w1, w2 int) {
-	m.dsu[a].Union(w1, w2)
-	m.classes = nil // invalidate derived tables
+	if m.dsu[a].Union(w1, w2) && m.derived.Load() != nil {
+		m.derived.Store(nil) // invalidate derived tables
+	}
 }
 
 // SameClass reports whether agent a has the same view at w1 and w2.
@@ -156,24 +217,149 @@ func (m *Model) SameClass(a int, w1, w2 int) bool {
 	return m.dsu[a].Same(w1, w2)
 }
 
-// ensureClasses materializes the dense class-id tables.
-func (m *Model) ensureClasses() {
-	if m.classes != nil {
-		return
+// tables returns the derived partition tables, building them on first use.
+// The double-checked build keeps concurrent evaluators safe and makes the
+// tables a once-per-construction cost.
+func (m *Model) tables() *derived {
+	if t := m.derived.Load(); t != nil {
+		return t
 	}
-	m.classes = make([][]int, m.numAgents)
-	m.nclass = make([]int, m.numAgents)
+	m.buildMu.Lock()
+	defer m.buildMu.Unlock()
+	if t := m.derived.Load(); t != nil {
+		return t
+	}
+	t := &derived{
+		parts:     make([]*partition, m.numAgents),
+		allAgents: make([]int, m.numAgents),
+		reach:     make(map[string]*partition),
+		joint:     make(map[string]*partition),
+	}
+	for i := range t.allAgents {
+		t.allAgents[i] = i
+	}
+	mark := make([]int32, m.numWorlds)
 	for a := 0; a < m.numAgents; a++ {
-		ids := m.dsu[a].CompIDs()
-		m.classes[a] = ids
-		m.nclass[a] = m.dsu[a].Components()
+		ids := make([]int32, m.numWorlds)
+		n := m.dsu[a].CompIDsInto(ids, mark)
+		t.parts[a] = newPartition(ids, n)
 	}
+	m.derived.Store(t)
+	return t
 }
 
 // ClassID returns agent a's dense view-class id of world w.
 func (m *Model) ClassID(a, w int) int {
-	m.ensureClasses()
-	return m.classes[a][w]
+	return int(m.tables().parts[a].ids[w])
+}
+
+// groupKey appends the canonical cache key of a resolved agent list: "*"
+// for exactly the full agent set 0..numAgents-1, the comma-joined indices
+// otherwise (agent lists with duplicates keep their literal key, which at
+// worst caches an equal partition twice).
+func (m *Model) groupKey(dst []byte, agents []int) []byte {
+	if len(agents) == m.numAgents {
+		full := true
+		for i, a := range agents {
+			if a != i {
+				full = false
+				break
+			}
+		}
+		if full {
+			return append(dst, '*')
+		}
+	}
+	for i, a := range agents {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(a), 10)
+	}
+	return dst
+}
+
+// reachPartition returns the partition of the worlds into G-reachability
+// components (Section 6: the transitive closure of the union of the G view
+// partitions), memoized per agent group. C_G evaluation — including every
+// iteration of a fixed point — reuses it instead of rebuilding a
+// union-find per call.
+func (m *Model) reachPartition(t *derived, agents []int, keyBuf []byte) *partition {
+	key := m.groupKey(keyBuf[:0], agents)
+	t.mu.RLock()
+	p := t.reach[string(key)]
+	t.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	d := unionfind.New(m.numWorlds)
+	for _, a := range agents {
+		part := t.parts[a]
+		first := make([]int32, part.n)
+		for i := range first {
+			first[i] = -1
+		}
+		for w, id := range part.ids {
+			if first[id] < 0 {
+				first[id] = int32(w)
+			} else {
+				d.Union(int(first[id]), w)
+			}
+		}
+	}
+	ids := make([]int32, m.numWorlds)
+	n := d.CompIDsInto(ids, nil)
+	p = newPartition(ids, n)
+	t.mu.Lock()
+	if q := t.reach[string(key)]; q != nil {
+		p = q // another evaluator won the race; keep one copy
+	} else {
+		t.reach[string(key)] = p
+	}
+	t.mu.Unlock()
+	return p
+}
+
+// jointPartition returns the common refinement of the agents' view
+// partitions (the joint view underlying D_G), memoized per agent group.
+// Callers must pass a non-empty agent list.
+func (m *Model) jointPartition(t *derived, agents []int, keyBuf []byte) *partition {
+	key := m.groupKey(keyBuf[:0], agents)
+	t.mu.RLock()
+	p := t.joint[string(key)]
+	t.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	ids := make([]int32, m.numWorlds)
+	copy(ids, t.parts[agents[0]].ids)
+	n := t.parts[agents[0]].n
+	pair := make(map[uint64]int32)
+	for _, a := range agents[1:] {
+		clear(pair)
+		other := t.parts[a].ids
+		next := int32(0)
+		for w := 0; w < m.numWorlds; w++ {
+			k := uint64(ids[w])<<32 | uint64(uint32(other[w]))
+			id, ok := pair[k]
+			if !ok {
+				id = next
+				next++
+				pair[k] = id
+			}
+			ids[w] = id
+		}
+		n = int(next)
+	}
+	p = newPartition(ids, n)
+	t.mu.Lock()
+	if q := t.joint[string(key)]; q != nil {
+		p = q
+	} else {
+		t.joint[string(key)] = p
+	}
+	t.mu.Unlock()
+	return p
 }
 
 // KnowSet computes K_a applied to an already-evaluated world set phi: the
@@ -181,7 +367,11 @@ func (m *Model) ClassID(a, w int) int {
 // set-level form of the K_a operator, used by the temporal semantics of the
 // runs package.
 func (m *Model) KnowSet(a int, phi *bitset.Set) *bitset.Set {
-	return m.knowSet(a, phi)
+	ev := m.getEvaluator()
+	defer m.putEvaluator(ev)
+	out := bitset.New(m.numWorlds)
+	m.tables().parts[a].knowInto(out, phi, &ev.ks)
+	return out
 }
 
 // GroupAgents expands a (possibly nil) group into explicit agent indices.
@@ -191,144 +381,71 @@ func (m *Model) GroupAgents(g logic.Group) ([]int, error) {
 
 // EveryoneSet computes E_G applied to an already-evaluated world set.
 func (m *Model) EveryoneSet(agents []int, phi *bitset.Set) *bitset.Set {
+	ev := m.getEvaluator()
+	defer m.putEvaluator(ev)
 	out := bitset.NewFull(m.numWorlds)
+	t := m.tables()
 	for _, a := range agents {
-		out.And(m.knowSet(a, phi))
+		t.parts[a].andKnowInto(out, phi, &ev.ks)
 	}
 	return out
 }
 
-// CommonSet computes C_G applied to an already-evaluated world set.
+// CommonSet computes C_G applied to an already-evaluated world set: the
+// worlds whose whole G-reachability component satisfies phi.
 func (m *Model) CommonSet(agents []int, phi *bitset.Set) *bitset.Set {
-	return m.commonSet(agents, phi)
+	if len(agents) == 0 {
+		return phi.Clone()
+	}
+	ev := m.getEvaluator()
+	defer m.putEvaluator(ev)
+	out := bitset.New(m.numWorlds)
+	p := m.reachPartition(m.tables(), agents, ev.keyScratch())
+	p.knowInto(out, phi, &ev.ks)
+	return out
+}
+
+// DistSet computes D_G applied to an already-evaluated world set:
+// knowledge under the joint view, i.e. the common refinement of the
+// agents' partitions.
+func (m *Model) DistSet(agents []int, phi *bitset.Set) *bitset.Set {
+	if len(agents) == 0 {
+		return phi.Clone()
+	}
+	ev := m.getEvaluator()
+	defer m.putEvaluator(ev)
+	out := bitset.New(m.numWorlds)
+	p := m.jointPartition(m.tables(), agents, ev.keyScratch())
+	p.knowInto(out, phi, &ev.ks)
+	return out
 }
 
 // GReachIDs returns dense component ids for the G-reachability relation of
 // Section 6 (the transitive closure of the union of the G partitions). Two
-// worlds are G-reachable from one another iff they share an id.
+// worlds are G-reachable from one another iff they share an id. The
+// returned slice is a fresh copy.
 func (m *Model) GReachIDs(g logic.Group) ([]int, error) {
 	agents, err := m.resolveGroup(g)
 	if err != nil {
 		return nil, err
 	}
-	return m.reachIDs(agents), nil
-}
-
-// knowSet computes K_a applied to the world set phi: the worlds whose whole
-// partition class for agent a lies inside phi.
-func (m *Model) knowSet(a int, phi *bitset.Set) *bitset.Set {
-	m.ensureClasses()
-	ids := m.classes[a]
-	allTrue := make([]bool, m.nclass[a])
-	for i := range allTrue {
-		allTrue[i] = true
-	}
-	for w := 0; w < m.numWorlds; w++ {
-		if !phi.Contains(w) {
-			allTrue[ids[w]] = false
-		}
-	}
-	out := bitset.New(m.numWorlds)
-	for w := 0; w < m.numWorlds; w++ {
-		if allTrue[ids[w]] {
-			out.Add(w)
-		}
-	}
-	return out
-}
-
-// distSet computes D_G: knowledge under the joint view, i.e. the common
-// refinement of the agents' partitions.
-func (m *Model) distSet(agents []int, phi *bitset.Set) *bitset.Set {
-	m.ensureClasses()
+	var p *partition
 	if len(agents) == 0 {
-		return phi.Clone()
-	}
-	ids := make([]int, m.numWorlds)
-	copy(ids, m.classes[agents[0]])
-	n := m.nclass[agents[0]]
-	for _, a := range agents[1:] {
-		pair := make(map[[2]int]int, n)
-		next := make([]int, m.numWorlds)
-		for w := 0; w < m.numWorlds; w++ {
-			key := [2]int{ids[w], m.classes[a][w]}
-			id, ok := pair[key]
-			if !ok {
-				id = len(pair)
-				pair[key] = id
-			}
-			next[w] = id
+		// No agents: nothing is reachable from anywhere but itself.
+		ids := make([]int, m.numWorlds)
+		for w := range ids {
+			ids[w] = w
 		}
-		ids = next
-		n = len(pair)
+		return ids, nil
 	}
-	allTrue := make([]bool, n)
-	for i := range allTrue {
-		allTrue[i] = true
+	ev := m.getEvaluator()
+	p = m.reachPartition(m.tables(), agents, ev.keyScratch())
+	m.putEvaluator(ev)
+	out := make([]int, m.numWorlds)
+	for w, id := range p.ids {
+		out[w] = int(id)
 	}
-	for w := 0; w < m.numWorlds; w++ {
-		if !phi.Contains(w) {
-			allTrue[ids[w]] = false
-		}
-	}
-	out := bitset.New(m.numWorlds)
-	for w := 0; w < m.numWorlds; w++ {
-		if allTrue[ids[w]] {
-			out.Add(w)
-		}
-	}
-	return out
-}
-
-// reachIDs returns dense component ids of the union of the G partitions:
-// the G-reachability components of Section 6.
-func (m *Model) reachIDs(agents []int) []int {
-	m.ensureClasses()
-	d := unionfind.New(m.numWorlds)
-	for _, a := range agents {
-		// Union each world with a representative of its class.
-		rep := make(map[int]int, m.nclass[a])
-		for w := 0; w < m.numWorlds; w++ {
-			id := m.classes[a][w]
-			if r, ok := rep[id]; ok {
-				d.Union(r, w)
-			} else {
-				rep[id] = w
-			}
-		}
-	}
-	return d.CompIDs()
-}
-
-// commonSet computes C_G applied to phi: worlds whose whole G-reachability
-// component satisfies phi.
-func (m *Model) commonSet(agents []int, phi *bitset.Set) *bitset.Set {
-	if len(agents) == 0 {
-		return phi.Clone()
-	}
-	ids := m.reachIDs(agents)
-	max := 0
-	for _, id := range ids {
-		if id > max {
-			max = id
-		}
-	}
-	allTrue := make([]bool, max+1)
-	for i := range allTrue {
-		allTrue[i] = true
-	}
-	for w := 0; w < m.numWorlds; w++ {
-		if !phi.Contains(w) {
-			allTrue[ids[w]] = false
-		}
-	}
-	out := bitset.New(m.numWorlds)
-	for w := 0; w < m.numWorlds; w++ {
-		if allTrue[ids[w]] {
-			out.Add(w)
-		}
-	}
-	return out
+	return out, nil
 }
 
 // RefineAgent returns a new model, over the same worlds, in which agent a's
@@ -345,10 +462,7 @@ func (m *Model) RefineAgent(a int, phi *bitset.Set) *Model {
 		}
 	}
 	for prop, set := range m.valuation {
-		set.ForEach(func(w int) bool {
-			out.SetTrue(w, prop)
-			return true
-		})
+		out.setFactSet(prop, set.Clone())
 	}
 	for b := 0; b < m.numAgents; b++ {
 		for _, group := range m.dsu[b].Groups() {
@@ -386,33 +500,54 @@ func (m *Model) RefineAgent(a int, phi *bitset.Set) *Model {
 func (m *Model) Restrict(keep *bitset.Set) *Model {
 	old := keep.Elements()
 	sub := NewModel(len(old), m.numAgents)
-	newIdx := make(map[int]int, len(old))
+	newIdx := make([]int32, m.numWorlds)
+	for i := range newIdx {
+		newIdx[i] = -1
+	}
 	for i, w := range old {
-		newIdx[w] = i
+		newIdx[w] = int32(i)
 		if m.names[w] != "" {
 			sub.SetName(i, m.names[w])
 		}
 	}
 	for prop, set := range m.valuation {
+		if !set.Intersects(keep) {
+			continue
+		}
+		col := bitset.New(len(old))
 		set.ForEach(func(w int) bool {
-			if i, ok := newIdx[w]; ok {
-				sub.SetTrue(i, prop)
+			if i := newIdx[w]; i >= 0 {
+				col.Add(int(i))
 			}
 			return true
 		})
+		sub.setFactSet(prop, col)
 	}
-	m.ensureClasses()
+	t := m.tables()
+	subIDs := make([]int32, len(old))
+	var mark []int32
 	for a := 0; a < m.numAgents; a++ {
-		// Union surviving worlds that shared a class.
-		rep := make(map[int]int)
-		for _, w := range old {
-			id := m.classes[a][w]
-			if r, ok := rep[id]; ok {
-				sub.Indistinguishable(a, newIdx[r], newIdx[w])
-			} else {
-				rep[id] = w
-			}
+		// Renumber the old classes over the surviving worlds and install
+		// the resulting partition directly — no pairwise unions needed.
+		part := t.parts[a]
+		if cap(mark) < part.n {
+			mark = make([]int32, part.n)
+		} else {
+			mark = mark[:part.n]
 		}
+		for i := range mark {
+			mark[i] = -1
+		}
+		next := int32(0)
+		for i, w := range old {
+			id := part.ids[w]
+			if mark[id] < 0 {
+				mark[id] = next
+				next++
+			}
+			subIDs[i] = mark[id]
+		}
+		sub.dsu[a] = unionfind.NewFromIDs(subIDs, int(next))
 	}
 	return sub
 }

@@ -1,0 +1,324 @@
+package kripke
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+)
+
+// partition is the word-level form of a partition of the worlds: a dense
+// class id per world plus, per class, the sparse list of non-zero 64-bit
+// words of the class's membership mask in CSR layout (off[c]..off[c+1]
+// index into idx/bits). Storing only non-zero words keeps the tables O(n)
+// overall, while letting the kernels AND/OR whole words instead of probing
+// individual bits.
+//
+// A second, transposed index (twOff/twID/twBits, keyed by bitset word)
+// lists the classes intersecting each word, so the kernels can test a
+// whole 64-world block against a class in one AND.
+//
+// The same representation serves all three knowledge relations: an agent's
+// view partition (K_i), the common refinement of a group's partitions
+// (D_G), and the G-reachability components of Section 6 (C_G).
+type partition struct {
+	ids  []int32 // world -> dense class id
+	n    int     // number of classes
+	off  []int32 // n+1 offsets into idx/bits
+	idx  []int32 // bitset word index of each mask word
+	bits []uint64
+
+	// Transpose: for each bitset word, the classes intersecting it.
+	twOff  []int32 // numWords+1 offsets into twID/twBits
+	twID   []int32
+	twBits []uint64
+
+	// Full-word failure tables; exactly one of the two is built. When
+	// every class spans few words, spill[wi] is the union, per partner
+	// word, of the mask bits that classes intersecting word wi own outside
+	// it — so a fully-failing word is handled by zeroing it and a handful
+	// of AND-NOTs, with no per-class iteration. Otherwise twm lists the
+	// word-spanning classes per word (the only ones a full-word failure
+	// has to remove bits for outside the word itself).
+	spOff  []int32 // numWords+1 offsets into spIdx/spBits
+	spIdx  []int32 // partner word index
+	spBits []uint64
+	twmOff []int32 // numWords+1 offsets into twmID
+	twmID  []int32
+}
+
+// maxSpillSpan bounds the class span (in words) up to which the spill
+// tables are built; beyond it their size could grow quadratically, and the
+// per-class fallback is cheap for such partitions anyway.
+const maxSpillSpan = 8
+
+// minTransposeWords is the universe size (in bitset words) below which the
+// transpose and full-word tables are not built at all: on models this
+// small the per-bit probe is as fast as the word-level sweeps, and the
+// experiments that rebuild models in a tight loop (point models per run
+// system, announcement chains) should not pay table-construction cost
+// they never amortize.
+const minTransposeWords = 5
+
+// newPartition builds the CSR mask tables from dense class ids over
+// [0, len(ids)) with n classes.
+func newPartition(ids []int32, n int) *partition {
+	p := &partition{ids: ids, n: n}
+	numWords := (len(ids) + 63) >> 6
+	// One scratch slab: per-class last-word-seen and write cursors, plus
+	// per-word cursors for the transposes.
+	scratch := make([]int32, 2*n+numWords)
+	last, cur, wcur := scratch[:n], scratch[n:2*n], scratch[2*n:]
+	for i := range last {
+		last[i] = -1
+	}
+	// First pass: count distinct bitset words per class.
+	counts := make([]int32, n+1)
+	for w, id := range ids {
+		if wi := int32(w >> 6); last[id] != wi {
+			last[id] = wi
+			counts[id+1]++
+		}
+	}
+	for c := 0; c < n; c++ {
+		counts[c+1] += counts[c]
+	}
+	p.off = counts
+	total := p.off[n]
+	p.idx = make([]int32, total)
+	p.bits = make([]uint64, total)
+	// Second pass: fill the per-class word lists.
+	copy(cur, p.off[:n])
+	for i := range last {
+		last[i] = -1
+	}
+	for w, id := range ids {
+		wi := int32(w >> 6)
+		if last[id] != wi {
+			last[id] = wi
+			p.idx[cur[id]] = wi
+			p.bits[cur[id]] = 1 << (uint(w) & 63)
+			cur[id]++
+		} else {
+			p.bits[cur[id]-1] |= 1 << (uint(w) & 63)
+		}
+	}
+	if numWords < minTransposeWords {
+		return p // tiny universe: the kernels fall back to per-bit probing
+	}
+	// Transpose into word-major order. The (word, class, bits) triples are
+	// exactly idx/bits above, so only a counting sort by word is needed.
+	p.twOff = make([]int32, numWords+1)
+	for _, wi := range p.idx {
+		p.twOff[wi+1]++
+	}
+	for wi := 0; wi < numWords; wi++ {
+		p.twOff[wi+1] += p.twOff[wi]
+	}
+	p.twID = make([]int32, total)
+	p.twBits = make([]uint64, total)
+	copy(wcur, p.twOff[:numWords])
+	for c := int32(0); c < int32(n); c++ {
+		for k := p.off[c]; k < p.off[c+1]; k++ {
+			wi := p.idx[k]
+			p.twID[wcur[wi]] = c
+			p.twBits[wcur[wi]] = p.bits[k]
+			wcur[wi]++
+		}
+	}
+	// Full-word failure tables: spill unions when class spans are small,
+	// the per-class list otherwise.
+	maxSpan := int32(0)
+	for c := 0; c < n; c++ {
+		if span := p.off[c+1] - p.off[c]; span > maxSpan {
+			maxSpan = span
+		}
+	}
+	if maxSpan <= maxSpillSpan {
+		p.buildSpill(numWords)
+	} else {
+		p.buildTwm(numWords, wcur)
+	}
+	return p
+}
+
+// buildSpill fills the spill tables: for each word wi, the union per
+// partner word wj ≠ wi of the mask bits owned there by classes
+// intersecting wi.
+func (p *partition) buildSpill(numWords int) {
+	acc := make([]uint64, numWords)
+	var touched []int32
+	p.spOff = make([]int32, numWords+1)
+	for wi := int32(0); wi < int32(numWords); wi++ {
+		touched = touched[:0]
+		for k := p.twOff[wi]; k < p.twOff[wi+1]; k++ {
+			c := p.twID[k]
+			for j := p.off[c]; j < p.off[c+1]; j++ {
+				if wj := p.idx[j]; wj != wi {
+					if acc[wj] == 0 {
+						touched = append(touched, wj)
+					}
+					acc[wj] |= p.bits[j]
+				}
+			}
+		}
+		for _, wj := range touched {
+			p.spIdx = append(p.spIdx, wj)
+			p.spBits = append(p.spBits, acc[wj])
+			acc[wj] = 0
+		}
+		p.spOff[wi+1] = int32(len(p.spIdx))
+	}
+}
+
+// buildTwm fills the word-spanning class list per word.
+func (p *partition) buildTwm(numWords int, wcur []int32) {
+	p.twmOff = make([]int32, numWords+1)
+	for c := int32(0); c < int32(p.n); c++ {
+		if span := p.off[c+1] - p.off[c]; span > 1 {
+			for k := p.off[c]; k < p.off[c+1]; k++ {
+				p.twmOff[p.idx[k]+1]++
+			}
+		}
+	}
+	for wi := 0; wi < numWords; wi++ {
+		p.twmOff[wi+1] += p.twmOff[wi]
+	}
+	p.twmID = make([]int32, p.twmOff[numWords])
+	copy(wcur, p.twmOff[:numWords])
+	for c := int32(0); c < int32(p.n); c++ {
+		if span := p.off[c+1] - p.off[c]; span > 1 {
+			for k := p.off[c]; k < p.off[c+1]; k++ {
+				wi := p.idx[k]
+				p.twmID[wcur[wi]] = c
+				wcur[wi]++
+			}
+		}
+	}
+}
+
+// kernelScratch is the reusable working state of the partition kernels: an
+// epoch-stamped class marker, so deduplicating the failing classes needs
+// no per-call clearing.
+type kernelScratch struct {
+	stamp []int32
+	epoch int32
+}
+
+// ensure sizes the stamp table for partitions of up to n classes.
+func (ks *kernelScratch) ensure(n int) {
+	if len(ks.stamp) < n {
+		ks.stamp = make([]int32, n)
+		ks.epoch = 0
+	}
+}
+
+// bump starts a new stamping round, clearing the table on epoch wraparound.
+func (ks *kernelScratch) bump() {
+	ks.epoch++
+	if ks.epoch <= 0 {
+		for i := range ks.stamp {
+			ks.stamp[i] = 0
+		}
+		ks.epoch = 1
+	}
+}
+
+// knowInto writes into dst the worlds whose whole class under p lies
+// inside phi — the set-level K operator for this partition. dst and phi
+// must have capacity len(p.ids) and must not alias.
+func (p *partition) knowInto(dst, phi *bitset.Set, ks *kernelScratch) {
+	dst.Fill()
+	p.andKnowInto(dst, phi, ks)
+}
+
+// andKnowInto intersects dst in place with the knowInto result: since the
+// classes cover the universe, K(phi) is the complement of the union of the
+// masks of "failing" classes (those with a world outside phi). The kernel
+// scans only the non-full words of phi; for each it finds the failing
+// classes either by testing the word against the transposed class list
+// (one AND per class intersecting the word) or, when the word has only a
+// few zero bits, by probing those worlds' ids directly. Each failing class
+// is then removed with whole-word AND-NOTs of its mask, deduplicated by
+// epoch stamp. Cost is O(words + work near ¬phi) rather than O(worlds).
+func (p *partition) andKnowInto(dst, phi *bitset.Set, ks *kernelScratch) {
+	ks.ensure(p.n)
+	ks.bump()
+	epoch := ks.epoch
+	stamp := ks.stamp
+	dw := dst.Words()
+	if p.twOff == nil {
+		// Tiny universe: probe each missing world's class directly.
+		for wi, w := range phi.Words() {
+			inv := ^w & phi.WordMask(wi)
+			base := wi << 6
+			for inv != 0 {
+				id := p.ids[base+bits.TrailingZeros64(inv)]
+				if stamp[id] != epoch {
+					stamp[id] = epoch
+					for j := p.off[id]; j < p.off[id+1]; j++ {
+						dw[p.idx[j]] &^= p.bits[j]
+					}
+				}
+				inv &= inv - 1
+			}
+		}
+		return
+	}
+	for wi, w := range phi.Words() {
+		full := phi.WordMask(wi)
+		inv := ^w & full
+		if inv == 0 {
+			continue
+		}
+		if inv == full {
+			// The whole 64-world block lies outside phi, so every class
+			// intersecting it fails and their union covers the block:
+			// zero it and fix up only the mask bits spilling into other
+			// words. All removals are idempotent, so no stamping is
+			// needed on the spill path.
+			dw[wi] = 0
+			if p.spOff != nil {
+				for k := p.spOff[wi]; k < p.spOff[wi+1]; k++ {
+					dw[p.spIdx[k]] &^= p.spBits[k]
+				}
+				continue
+			}
+			for k := p.twmOff[wi]; k < p.twmOff[wi+1]; k++ {
+				if id := p.twmID[k]; stamp[id] != epoch {
+					stamp[id] = epoch
+					for j := p.off[id]; j < p.off[id+1]; j++ {
+						dw[p.idx[j]] &^= p.bits[j]
+					}
+				}
+			}
+			continue
+		}
+		lo, hi := p.twOff[wi], p.twOff[wi+1]
+		if nz := bits.OnesCount64(inv); int32(nz) < (hi-lo)>>1 {
+			// Sparse complement: probe the ids of the few missing worlds.
+			base := wi << 6
+			for inv != 0 {
+				id := p.ids[base+bits.TrailingZeros64(inv)]
+				if stamp[id] != epoch {
+					stamp[id] = epoch
+					for j := p.off[id]; j < p.off[id+1]; j++ {
+						dw[p.idx[j]] &^= p.bits[j]
+					}
+				}
+				inv &= inv - 1
+			}
+			continue
+		}
+		// Dense complement: sweep the classes intersecting this word.
+		for k := lo; k < hi; k++ {
+			if inv&p.twBits[k] != 0 {
+				if id := p.twID[k]; stamp[id] != epoch {
+					stamp[id] = epoch
+					for j := p.off[id]; j < p.off[id+1]; j++ {
+						dw[p.idx[j]] &^= p.bits[j]
+					}
+				}
+			}
+		}
+	}
+}

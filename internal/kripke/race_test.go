@@ -1,0 +1,87 @@
+package kripke
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+)
+
+// TestConcurrentEval guards the documented contract that a fully
+// constructed model may be evaluated concurrently. It is meaningful mainly
+// under -race: the lazily built partition tables, the per-group
+// reachability/joint-view caches and the pooled evaluators are all first
+// touched from inside the goroutines, so lazy construction itself is
+// exercised for races, not just steady-state reads.
+func TestConcurrentEval(t *testing.T) {
+	models := []*Model{chainModel(257), func() *Model {
+		m := NewModel(64, 3)
+		for w := 0; w < 64; w++ {
+			if w%3 == 0 {
+				m.SetTrue(w, "p")
+			}
+			if w%5 != 0 {
+				m.SetTrue(w, "q")
+			}
+		}
+		for w := 0; w+2 < 64; w += 2 {
+			m.Indistinguishable(w%3, w, w+2)
+			m.Indistinguishable((w+1)%3, w, w+1)
+		}
+		return m
+	}()}
+
+	formulas := []logic.Formula{
+		logic.MustParse("C p"),
+		logic.MustParse("E E p"),
+		logic.MustParse("K0 (p | ~p) & ~K1 false"),
+		logic.MustParse("D{0,1} p"),
+		logic.MustParse("S (p -> p)"),
+		logic.MustParse("nu X . E (p & X)"),
+		logic.MustParse("mu X . p | E X"),
+	}
+
+	for _, m := range models {
+		// Sequential reference results, computed on a fresh equal model so
+		// the concurrent run below starts with cold caches.
+		want := make([]string, len(formulas))
+		for i, f := range formulas {
+			s, err := m.Eval(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = s.String()
+		}
+		fresh := m.Restrict(mustEvalSet(t, m, logic.True)) // identity copy, cold caches
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for rep := 0; rep < 20; rep++ {
+					i := (g + rep) % len(formulas)
+					s, err := fresh.Eval(formulas[i])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got := s.String(); got != want[i] {
+						t.Errorf("concurrent Eval(%s) = %s, want %s", formulas[i], got, want[i])
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+func mustEvalSet(t *testing.T, m *Model, f logic.Formula) *bitset.Set {
+	t.Helper()
+	s, err := m.Eval(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

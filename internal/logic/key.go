@@ -1,0 +1,128 @@
+package logic
+
+import "strconv"
+
+// AppendKey appends a canonical structural key of f to dst and reports
+// whether f is closed (contains no free fixed-point variables). Two
+// formulas receive the same key iff they are structurally equal in the
+// sense of Equal. The encoding is prefix-free: names are length-prefixed
+// and n-ary connectives carry their arity, so keys of distinct formulas
+// never collide.
+//
+// The kripke evaluation engine uses keys to memoize subformula denotations
+// within a single model-checking run: closed subformulas denote the same
+// world set at every occurrence, so their keys index a per-evaluation
+// cache. Appending into a caller-owned buffer keeps key construction
+// allocation-free on the hot path.
+//
+// bound is the stack of fixed-point variables in scope; pass nil at the
+// top level. It may be appended to internally, so callers reusing a
+// scratch slice should pass bound[:0].
+func AppendKey(dst []byte, f Formula, bound []string) ([]byte, bool) {
+	switch n := f.(type) {
+	case Prop:
+		return appendName(append(dst, 'p'), n.Name), true
+	case Truth:
+		if n.Value {
+			return append(dst, '1'), true
+		}
+		return append(dst, '0'), true
+	case Var:
+		for _, b := range bound {
+			if b == n.Name {
+				return appendName(append(dst, 'x'), n.Name), true
+			}
+		}
+		return appendName(append(dst, 'x'), n.Name), false
+	case Not:
+		return AppendKey(append(dst, '!'), n.F, bound)
+	case And:
+		return appendNary(dst, '&', n.Fs, bound)
+	case Or:
+		return appendNary(dst, '|', n.Fs, bound)
+	case Implies:
+		dst, c1 := AppendKey(append(dst, '>'), n.Ant, bound)
+		dst, c2 := AppendKey(dst, n.Cons, bound)
+		return dst, c1 && c2
+	case Iff:
+		dst, c1 := AppendKey(append(dst, '='), n.L, bound)
+		dst, c2 := AppendKey(dst, n.R, bound)
+		return dst, c1 && c2
+	case Know:
+		dst = strconv.AppendInt(append(dst, 'K'), int64(n.Agent), 10)
+		return AppendKey(append(dst, ':'), n.F, bound)
+	case Someone:
+		return AppendKey(appendGroup(append(dst, 'S'), n.G), n.F, bound)
+	case Everyone:
+		return AppendKey(appendGroup(append(dst, 'E'), n.G), n.F, bound)
+	case Dist:
+		return AppendKey(appendGroup(append(dst, 'D'), n.G), n.F, bound)
+	case Common:
+		return AppendKey(appendGroup(append(dst, 'C'), n.G), n.F, bound)
+	case EveryEps:
+		dst = strconv.AppendInt(append(dst, 'E', 'e'), int64(n.Eps), 10)
+		return AppendKey(appendGroup(dst, n.G), n.F, bound)
+	case CommonEps:
+		dst = strconv.AppendInt(append(dst, 'C', 'e'), int64(n.Eps), 10)
+		return AppendKey(appendGroup(dst, n.G), n.F, bound)
+	case EveryEv:
+		return AppendKey(appendGroup(append(dst, 'E', 'v'), n.G), n.F, bound)
+	case CommonEv:
+		return AppendKey(appendGroup(append(dst, 'C', 'v'), n.G), n.F, bound)
+	case EveryTime:
+		dst = strconv.AppendInt(append(dst, 'E', 't'), int64(n.T), 10)
+		return AppendKey(appendGroup(dst, n.G), n.F, bound)
+	case CommonTime:
+		dst = strconv.AppendInt(append(dst, 'C', 't'), int64(n.T), 10)
+		return AppendKey(appendGroup(dst, n.G), n.F, bound)
+	case Eventually:
+		return AppendKey(append(dst, 'F'), n.F, bound)
+	case Always:
+		return AppendKey(append(dst, 'G'), n.F, bound)
+	case Nu:
+		return AppendKey(appendName(append(dst, 'n'), n.Var), n.Body, append(bound, n.Var))
+	case Mu:
+		return AppendKey(appendName(append(dst, 'm'), n.Var), n.Body, append(bound, n.Var))
+	}
+	// Unknown node: fall back to the rendered form; never memoizable.
+	return append(dst, f.String()...), false
+}
+
+// Key returns the structural key of f as a string, with the closedness
+// flag of AppendKey.
+func Key(f Formula) (string, bool) {
+	dst, closed := AppendKey(nil, f, nil)
+	return string(dst), closed
+}
+
+func appendName(dst []byte, name string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(name)), 10)
+	dst = append(dst, ':')
+	return append(dst, name...)
+}
+
+func appendNary(dst []byte, op byte, fs []Formula, bound []string) ([]byte, bool) {
+	dst = strconv.AppendInt(append(dst, op), int64(len(fs)), 10)
+	dst = append(dst, ':')
+	closed := true
+	for _, f := range fs {
+		var c bool
+		dst, c = AppendKey(dst, f, bound)
+		closed = closed && c
+	}
+	return dst, closed
+}
+
+func appendGroup(dst []byte, g Group) []byte {
+	if g == nil {
+		return append(dst, '*')
+	}
+	dst = append(dst, '{')
+	for i, a := range g {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(a), 10)
+	}
+	return append(dst, '}')
+}

@@ -1,0 +1,76 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompIDsInto(t *testing.T) {
+	d := New(6)
+	d.Union(0, 3)
+	d.Union(4, 5)
+	want := d.CompIDs()
+	ids := make([]int32, 6)
+	n := d.CompIDsInto(ids, nil)
+	if n != d.Components() {
+		t.Errorf("CompIDsInto count = %d, want %d", n, d.Components())
+	}
+	for i, w := range want {
+		if int(ids[i]) != w {
+			t.Errorf("ids[%d] = %d, want %d", i, ids[i], w)
+		}
+	}
+	// With caller-provided scratch, same result.
+	mark := make([]int32, 6)
+	ids2 := make([]int32, 6)
+	if d.CompIDsInto(ids2, mark) != n {
+		t.Error("scratch variant disagrees on count")
+	}
+	for i := range ids {
+		if ids[i] != ids2[i] {
+			t.Error("scratch variant disagrees on ids")
+		}
+	}
+}
+
+func TestNewFromIDsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		d := New(n)
+		for i := 0; i < rng.Intn(3*n); i++ {
+			d.Union(rng.Intn(n), rng.Intn(n))
+		}
+		ids := make([]int32, n)
+		k := d.CompIDsInto(ids, nil)
+		e := NewFromIDs(ids, k)
+		if e.Components() != d.Components() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if e.SizeOf(i) != d.SizeOf(i) {
+				return false
+			}
+			for j := i + 1; j < n; j += 7 {
+				if e.Same(i, j) != d.Same(i, j) {
+					return false
+				}
+			}
+		}
+		// The rebuilt DSU yields the same dense ids.
+		ids2 := make([]int32, n)
+		if e.CompIDsInto(ids2, nil) != k {
+			return false
+		}
+		for i := range ids {
+			if ids[i] != ids2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -31,6 +31,32 @@ func New(n int) *DSU {
 	return d
 }
 
+// NewFromIDs builds a DSU over [0, len(ids)) whose sets are exactly the
+// classes of ids, which must be dense in [0, n). Every element is linked
+// directly to the first element of its class, so the structure starts
+// fully compressed. It is the bulk constructor used when a partition is
+// already known (e.g. restricting a model to a subset of worlds).
+func NewFromIDs(ids []int32, n int) *DSU {
+	d := &DSU{
+		parent: make([]int, len(ids)),
+		size:   make([]int, len(ids)),
+		comps:  n,
+	}
+	first := make([]int32, n)
+	for i := range first {
+		first[i] = -1
+	}
+	for i, id := range ids {
+		if first[id] < 0 {
+			first[id] = int32(i)
+		}
+		r := int(first[id])
+		d.parent[i] = r
+		d.size[r]++
+	}
+	return d
+}
+
 // Len returns the size of the universe.
 func (d *DSU) Len() int { return len(d.parent) }
 
@@ -72,19 +98,45 @@ func (d *DSU) SizeOf(x int) int { return d.size[d.Find(x)] }
 // [0, Components()). Elements share an id iff they are in the same set.
 func (d *DSU) CompIDs() []int {
 	ids := make([]int, len(d.parent))
+	mark := make([]int, len(d.parent))
+	for i := range mark {
+		mark[i] = -1
+	}
 	next := 0
-	seen := make(map[int]int, d.comps)
 	for i := range d.parent {
 		r := d.Find(i)
-		id, ok := seen[r]
-		if !ok {
-			id = next
+		if mark[r] < 0 {
+			mark[r] = next
 			next++
-			seen[r] = id
 		}
-		ids[i] = id
+		ids[i] = mark[r]
 	}
 	return ids
+}
+
+// CompIDsInto writes the dense component ids of CompIDs into ids, which
+// must have length Len(), and returns the number of components. It is the
+// allocation-free form used when the caller owns a reusable buffer; mark is
+// an optional scratch slice of length Len() (a fresh one is allocated when
+// nil or too short).
+func (d *DSU) CompIDsInto(ids []int32, mark []int32) int {
+	n := len(d.parent)
+	if len(mark) < n {
+		mark = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		mark[i] = -1
+	}
+	next := int32(0)
+	for i := 0; i < n; i++ {
+		r := d.Find(i)
+		if mark[r] < 0 {
+			mark[r] = next
+			next++
+		}
+		ids[i] = mark[r]
+	}
+	return int(next)
 }
 
 // Groups returns the members of each set, indexed by the dense component ids

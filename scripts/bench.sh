@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite and emit a JSON report
+# (benchmark name -> ns/op, B/op, allocs/op) for the perf trajectory.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# The report has a "current" section with this run's numbers and, when a
+# BENCH_BASELINE.json snapshot exists at the repo root (the numbers of the
+# unoptimized seed), a "baseline" section copied from it, so speedups can
+# be read off one file. The default output is BENCH_<N>.json at the repo
+# root for the smallest N not yet taken (BENCH_1.json first).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [[ -z "$out" ]]; then
+    n=1
+    while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+    out="BENCH_${n}.json"
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench=. -benchmem -count=1 . | tee "$raw"
+
+{
+    echo "{"
+    if [[ -f BENCH_BASELINE.json ]]; then
+        echo '  "baseline":'
+        sed 's/^/  /' BENCH_BASELINE.json
+        echo "  ,"
+    fi
+    echo '  "current":'
+    awk '
+    BEGIN { print "  {" }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op") ns = $(i - 1)
+            if ($i == "B/op") bytes = $(i - 1)
+            if ($i == "allocs/op") allocs = $(i - 1)
+        }
+        if (ns == "") next
+        if (seen++) printf ",\n"
+        printf "    \"%s\": {\"ns_op\": %s", name, ns
+        if (bytes != "") printf ", \"b_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_op\": %s", allocs
+        printf "}"
+    }
+    END { print "\n  }" }
+    ' "$raw"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
