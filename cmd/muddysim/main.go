@@ -5,7 +5,11 @@
 //	muddysim -n 6 -muddy 0,2,4 -mode public
 //
 // Modes: public (the father announces m), none (he says nothing), private
-// (he tells each child separately and secretly).
+// (he tells each child separately and secretly). n is supported up to 18
+// (a 262144-world model); each round reports how long the children's
+// knowledge checks took (eval) versus applying the resulting public
+// announcement (build), making the construction/evaluation split of the
+// model checker visible from the command line.
 package main
 
 import (
@@ -18,6 +22,9 @@ import (
 	"repro/internal/muddy"
 )
 
+// maxN keeps interactive runs snappy; the muddy package itself supports 20.
+const maxN = 18
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "muddysim:", err)
@@ -27,12 +34,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("muddysim", flag.ContinueOnError)
-	n := fs.Int("n", 5, "number of children")
+	n := fs.Int("n", 5, "number of children (up to 18)")
 	muddyArg := fs.String("muddy", "0,1", "comma-separated indices of muddy children")
 	mode := fs.String("mode", "public", "announcement mode: public, none, private")
 	rounds := fs.Int("rounds", 0, "round budget (default n+2)")
+	timing := fs.Bool("time", true, "print per-round build vs eval timing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *n > maxN {
+		return fmt.Errorf("n = %d out of supported range [1, %d]", *n, maxN)
 	}
 
 	var muddySet []int
@@ -66,6 +77,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *timing {
+		fmt.Printf("model build (2^%d worlds + announcement): %v\n", *n, res.BuildTime)
+	}
 	for i, r := range res.Rounds {
 		var yes []int
 		for c, y := range r.Yes {
@@ -73,10 +87,14 @@ func run(args []string) error {
 				yes = append(yes, c)
 			}
 		}
+		suffix := ""
+		if *timing {
+			suffix = fmt.Sprintf("   [eval %v, build %v]", r.EvalTime, r.BuildTime)
+		}
 		if len(yes) == 0 {
-			fmt.Printf("round %d: all children answer \"no\"\n", i+1)
+			fmt.Printf("round %d: all children answer \"no\"%s\n", i+1, suffix)
 		} else {
-			fmt.Printf("round %d: children %v answer \"yes\"\n", i+1, yes)
+			fmt.Printf("round %d: children %v answer \"yes\"%s\n", i+1, yes, suffix)
 		}
 	}
 	fmt.Println()

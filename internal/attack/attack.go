@@ -45,6 +45,38 @@ type System struct {
 	Sys *runs.System
 	// Budget is the maximum number of handshake messages per run.
 	Budget int
+
+	// views caches each general's view timeline per run, so the exhaustive
+	// rule searches (thousands of rule pairs over the same runs) replay
+	// precomputed views instead of reconstructing each local history per
+	// (rule, run, time) probe.
+	views [][2]*protocol.Timeline
+}
+
+// timelines returns the per-(run, general) view timelines, built on first
+// use.
+func (s *System) timelines() [][2]*protocol.Timeline {
+	if s.views == nil {
+		s.views = make([][2]*protocol.Timeline, len(s.Sys.Runs))
+		for ri, r := range s.Sys.Runs {
+			s.views[ri] = [2]*protocol.Timeline{
+				protocol.NewTimeline(r, GeneralA),
+				protocol.NewTimeline(r, GeneralB),
+			}
+		}
+	}
+	return s.views
+}
+
+// attackTime is AttackTime over the cached timeline of run ri.
+func (s *System) attackTime(tl [][2]*protocol.Timeline, ri, g int, rule DecisionRule) runs.Time {
+	r := s.Sys.Runs[ri]
+	for t := runs.Time(0); t <= r.Horizon; t++ {
+		if rule(tl[ri][g].At(t)) {
+			return t
+		}
+	}
+	return runs.Lost
 }
 
 // handshakeProtocols returns the generals' messenger protocol: A initiates
@@ -126,9 +158,10 @@ type RuleOutcome struct {
 // Evaluate checks a decision-rule pair against every run of the system.
 func (s *System) Evaluate(ruleA, ruleB DecisionRule) RuleOutcome {
 	out := RuleOutcome{Simultaneous: true, EventuallyCoordinated: true, NoAttackWithoutComms: true}
-	for _, r := range s.Sys.Runs {
-		ta := AttackTime(r, GeneralA, ruleA)
-		tb := AttackTime(r, GeneralB, ruleB)
+	tl := s.timelines()
+	for ri, r := range s.Sys.Runs {
+		ta := s.attackTime(tl, ri, GeneralA, ruleA)
+		tb := s.attackTime(tl, ri, GeneralB, ruleB)
 		if ta != runs.Lost || tb != runs.Lost {
 			out.EverAttacks = true
 		}
@@ -229,11 +262,12 @@ func (s *System) CheckProposition10() (Corollary6Report, error) {
 // (r, t) iff both generals have attacked by t (stable, as the divisions
 // stay committed once they attack).
 func (s *System) Interp(ruleA, ruleB DecisionRule) runs.Interpretation {
+	tl := s.timelines()
 	attackTimes := make(map[string][2]runs.Time, len(s.Sys.Runs))
-	for _, r := range s.Sys.Runs {
+	for ri, r := range s.Sys.Runs {
 		attackTimes[r.Name] = [2]runs.Time{
-			AttackTime(r, GeneralA, ruleA),
-			AttackTime(r, GeneralB, ruleB),
+			s.attackTime(tl, ri, GeneralA, ruleA),
+			s.attackTime(tl, ri, GeneralB, ruleB),
 		}
 	}
 	return runs.Interpretation{

@@ -1,0 +1,88 @@
+package bitset
+
+import "math/bits"
+
+// Rank returns the number of members of the set that are strictly smaller
+// than i. For a member w of the set, Rank(w) is w's index in Elements() —
+// the world-renaming function of a model restriction.
+func (s *Set) Rank(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > s.n {
+		i = s.n
+	}
+	wi := i / wordBits
+	r := 0
+	for k := 0; k < wi; k++ {
+		r += bits.OnesCount64(s.words[k])
+	}
+	if rem := uint(i) % wordBits; rem != 0 {
+		r += bits.OnesCount64(s.words[wi] & ((1 << rem) - 1))
+	}
+	return r
+}
+
+// Gather writes into dst the compaction of src through keep: bit j of dst is
+// bit w of src, where w is the j-th member of keep. It is the word-level
+// valuation-column kernel of model restriction — each 64-world block is
+// compressed with a parallel-suffix bit extract instead of per-element
+// probing. src and keep must share a capacity; dst must have capacity
+// keep.Count(). dst is overwritten.
+func Gather(dst, src, keep *Set) {
+	src.mustMatch(keep)
+	dw := dst.words
+	for i := range dw {
+		dw[i] = 0
+	}
+	var (
+		acc  uint64 // bits gathered so far for the current output word
+		fill uint   // number of valid low bits in acc
+		out  int    // next output word index
+	)
+	for wi, m := range keep.words {
+		if m == 0 {
+			continue
+		}
+		pc := uint(bits.OnesCount64(m))
+		x := extractBits(src.words[wi], m)
+		acc |= x << fill
+		if fill+pc >= wordBits {
+			dw[out] = acc
+			out++
+			// Go shifts by >= 64 yield 0, so the boundary cases (fill == 0
+			// with a full word, or an exact fit) fall out correctly.
+			acc = x >> (wordBits - fill)
+			fill = fill + pc - wordBits
+		} else {
+			fill += pc
+		}
+	}
+	if fill > 0 && out < len(dw) {
+		dw[out] = acc
+	}
+	dst.trim()
+}
+
+// extractBits compresses the bits of x selected by mask m into the low end
+// of the result (the PEXT instruction, emulated with the parallel-suffix
+// method of Hacker's Delight §7-4: O(log word) steps regardless of mask
+// density).
+func extractBits(x, m uint64) uint64 {
+	x &= m
+	mk := ^m << 1 // count 1s to the right of each bit
+	for i := uint(0); i < 6; i++ {
+		mp := mk ^ (mk << 1)
+		mp ^= mp << 2
+		mp ^= mp << 4
+		mp ^= mp << 8
+		mp ^= mp << 16
+		mp ^= mp << 32
+		mv := mp & m // bits to move this round
+		m = (m ^ mv) | (mv >> (1 << i))
+		t := x & mv
+		x = (x ^ t) | (t >> (1 << i))
+		mk &= ^mp
+	}
+	return x
+}

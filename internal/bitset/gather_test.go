@@ -1,0 +1,108 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gatherRef is the per-element reference implementation of Gather.
+func gatherRef(dst, src, keep *Set) {
+	dst.Clear()
+	j := 0
+	keep.ForEach(func(w int) bool {
+		if src.Contains(w) {
+			dst.Add(j)
+		}
+		j++
+		return true
+	})
+}
+
+func TestGatherAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200, 513, 4096} {
+		for trial := 0; trial < 20; trial++ {
+			src := New(n)
+			keep := New(n)
+			for w := 0; w < n; w++ {
+				if rng.Intn(2) == 0 {
+					src.Add(w)
+				}
+				if rng.Intn(3) != 0 {
+					keep.Add(w)
+				}
+			}
+			got := New(keep.Count())
+			want := New(keep.Count())
+			Gather(got, src, keep)
+			gatherRef(want, src, keep)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d trial=%d: Gather = %s, want %s", n, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestGatherEdgeMasks(t *testing.T) {
+	// Full keep: gather is a copy.
+	src := New(130)
+	for _, w := range []int{0, 1, 63, 64, 100, 129} {
+		src.Add(w)
+	}
+	keep := NewFull(130)
+	dst := New(130)
+	Gather(dst, src, keep)
+	if !dst.Equal(src) {
+		t.Fatalf("gather through full mask: %s != %s", dst, src)
+	}
+	// Empty keep: empty result.
+	empty := New(0)
+	Gather(empty, src, New(130))
+	if !empty.IsEmpty() {
+		t.Fatal("gather through empty mask is nonempty")
+	}
+	// Overwrites stale dst contents.
+	stale := NewFull(130)
+	Gather(stale, New(130), keep)
+	if !stale.IsEmpty() {
+		t.Fatalf("gather did not overwrite dst: %s", stale)
+	}
+}
+
+func TestRank(t *testing.T) {
+	s := New(200)
+	members := []int{0, 3, 63, 64, 65, 127, 199}
+	for _, w := range members {
+		s.Add(w)
+	}
+	for want, w := range members {
+		if got := s.Rank(w); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", w, got, want)
+		}
+	}
+	if got := s.Rank(200); got != len(members) {
+		t.Fatalf("Rank(cap) = %d, want %d", got, len(members))
+	}
+	if got := s.Rank(1000); got != len(members) {
+		t.Fatalf("Rank beyond cap = %d, want %d", got, len(members))
+	}
+	if got := s.Rank(-5); got != 0 {
+		t.Fatalf("Rank(-5) = %d, want 0", got)
+	}
+}
+
+func TestExtractBits(t *testing.T) {
+	cases := []struct{ x, m, want uint64 }{
+		{0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF},
+		{0xDEADBEEF, 0, 0},
+		{0b1010, 0b1110, 0b101},
+		{0b1000, 0b1000, 0b1},
+		{0xAAAAAAAAAAAAAAAA, 0xAAAAAAAAAAAAAAAA, 0xFFFFFFFF},
+		{0xAAAAAAAAAAAAAAAA, 0x5555555555555555, 0},
+	}
+	for _, c := range cases {
+		if got := extractBits(c.x, c.m); got != c.want {
+			t.Fatalf("extractBits(%#x, %#x) = %#x, want %#x", c.x, c.m, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package intern provides a small string interner: a bijection between
+// strings and dense int32 symbol ids.
+//
+// The model-construction pipeline uses interners in two places. Ground-fact
+// names are interned by the kripke.Builder so that valuation columns are
+// indexed by symbol id and each distinct fact name is hashed once per
+// construction, not once per (world, fact) pair. View keys (the local-history
+// strings of the runs package) are interned per agent to turn "partition the
+// points by equal view" into a single pass that emits dense class ids
+// directly — the ids a partition table wants — with one map probe per point
+// and no union-find.
+package intern
+
+// Table maps strings to dense ids in [0, Len()) and back. The zero value is
+// not ready for use; call NewTable. A Table is not safe for concurrent use.
+type Table struct {
+	idx  map[string]int32
+	syms []string
+}
+
+// NewTable returns an empty interner.
+func NewTable() *Table {
+	return &Table{idx: make(map[string]int32)}
+}
+
+// Intern returns the id of s, assigning the next free id on first sight.
+func (t *Table) Intern(s string) int32 {
+	if id, ok := t.idx[s]; ok {
+		return id
+	}
+	id := int32(len(t.syms))
+	t.idx[s] = id
+	t.syms = append(t.syms, s)
+	return id
+}
+
+// Lookup returns the id of s without interning it.
+func (t *Table) Lookup(s string) (int32, bool) {
+	id, ok := t.idx[s]
+	return id, ok
+}
+
+// Sym returns the string with the given id.
+func (t *Table) Sym(id int32) string { return t.syms[id] }
+
+// Len returns the number of interned symbols.
+func (t *Table) Len() int { return len(t.syms) }
+
+// Reset forgets all symbols but keeps the backing storage, so one Table can
+// be reused across independent keyspaces (e.g. one agent's view keys after
+// another's) without reallocating the map.
+func (t *Table) Reset() {
+	clear(t.idx)
+	t.syms = t.syms[:0]
+}

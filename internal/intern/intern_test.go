@@ -1,0 +1,56 @@
+package intern
+
+import "testing"
+
+func TestTable(t *testing.T) {
+	tb := NewTable()
+	if tb.Len() != 0 {
+		t.Fatalf("fresh table has %d symbols", tb.Len())
+	}
+	a := tb.Intern("alpha")
+	b := tb.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct strings share id %d", a)
+	}
+	if got := tb.Intern("alpha"); got != a {
+		t.Fatalf("re-interning alpha: got %d, want %d", got, a)
+	}
+	if tb.Sym(a) != "alpha" || tb.Sym(b) != "beta" {
+		t.Fatalf("Sym round-trip broken: %q, %q", tb.Sym(a), tb.Sym(b))
+	}
+	if id, ok := tb.Lookup("beta"); !ok || id != b {
+		t.Fatalf("Lookup(beta) = %d, %v", id, ok)
+	}
+	if _, ok := tb.Lookup("gamma"); ok {
+		t.Fatal("Lookup found a symbol that was never interned")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tb.Len())
+	}
+	if _, ok := tb.Lookup("alpha"); ok {
+		t.Fatal("Reset kept an old symbol")
+	}
+	// Ids restart from zero after a reset.
+	if got := tb.Intern("gamma"); got != 0 {
+		t.Fatalf("first id after Reset = %d, want 0", got)
+	}
+}
+
+func TestTableDenseIDs(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 100; i++ {
+		s := string(rune('a' + i%26))
+		id := tb.Intern(s)
+		if int(id) >= tb.Len() {
+			t.Fatalf("id %d out of dense range [0,%d)", id, tb.Len())
+		}
+	}
+	if tb.Len() != 26 {
+		t.Fatalf("Len = %d, want 26", tb.Len())
+	}
+}

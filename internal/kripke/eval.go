@@ -182,6 +182,16 @@ func (m *Model) EvalEnv(f logic.Formula, env Env) (*bitset.Set, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !owned {
+		// A memoized top-level result is owned by the evaluator as the
+		// most recently retired set; un-retire it instead of cloning —
+		// the memo table is cleared before the evaluator is pooled, so
+		// nothing else will alias it.
+		if n := len(ev.retired); n > 0 && ev.retired[n-1] == s {
+			ev.retired = ev.retired[:n-1]
+			owned = true
+		}
+	}
 	if owned {
 		return s, nil // hand the scratch set out of the pool
 	}
@@ -345,7 +355,7 @@ func (ev *evaluator) evalCompound(f logic.Formula, env *binding) (*bitset.Set, b
 			return nil, false, err
 		}
 		dst := ev.alloc()
-		ev.t.parts[n.Agent].knowInto(dst, phi, &ev.ks)
+		ev.m.part(ev.t, int(n.Agent)).knowInto(dst, phi, &ev.ks)
 		ev.releaseIf(phi, owned)
 		return dst, true, nil
 
@@ -359,13 +369,18 @@ func (ev *evaluator) evalCompound(f logic.Formula, env *binding) (*bitset.Set, b
 			return nil, false, err
 		}
 		dst := ev.alloc()
-		dst.Clear()
-		tmp := ev.alloc()
-		for _, a := range agents {
-			ev.t.parts[a].knowInto(tmp, phi, &ev.ks)
-			dst.Or(tmp)
+		if ev.m.kernelParallel(agents) {
+			dst.Clear()
+			ev.m.parallelKnow(ev.t, agents, dst, phi, false)
+		} else {
+			dst.Clear()
+			tmp := ev.alloc()
+			for _, a := range agents {
+				ev.m.part(ev.t, a).knowInto(tmp, phi, &ev.ks)
+				dst.Or(tmp)
+			}
+			ev.release(tmp)
 		}
-		ev.release(tmp)
 		ev.releaseIf(phi, owned)
 		return dst, true, nil
 
@@ -380,8 +395,12 @@ func (ev *evaluator) evalCompound(f logic.Formula, env *binding) (*bitset.Set, b
 		}
 		dst := ev.alloc()
 		dst.Fill()
-		for _, a := range agents {
-			ev.t.parts[a].andKnowInto(dst, phi, &ev.ks)
+		if ev.m.kernelParallel(agents) {
+			ev.m.parallelKnow(ev.t, agents, dst, phi, true)
+		} else {
+			for _, a := range agents {
+				ev.m.part(ev.t, a).andKnowInto(dst, phi, &ev.ks)
+			}
 		}
 		ev.releaseIf(phi, owned)
 		return dst, true, nil
@@ -566,10 +585,8 @@ func (m *Model) EKPrefix(g logic.Group, f logic.Formula, k int) ([]*bitset.Set, 
 	defer m.putEvaluator(ev)
 	out := make([]*bitset.Set, 0, k)
 	for i := 1; i <= k; i++ {
-		next := bitset.NewFull(m.numWorlds) // escapes to the caller
-		for _, a := range agents {
-			ev.t.parts[a].andKnowInto(next, cur, &ev.ks)
-		}
+		next := bitset.New(m.numWorlds) // escapes to the caller
+		m.everyoneInto(ev.t, agents, next, cur, &ev.ks)
 		out = append(out, next)
 		cur = next
 	}

@@ -22,6 +22,8 @@ import (
 // of the run-based operators.
 func (m *Model) Minimize() (*Model, []int) {
 	t := m.tables()
+	m.ensureParts(t, t.allAgents)
+	partIDs := func(a int) []int32 { return t.parts[a].Load().ids }
 
 	// Initial partition: by fact signature.
 	block := make([]int, m.numWorlds)
@@ -63,7 +65,7 @@ func (m *Model) Minimize() (*Model, []int) {
 		for a := 0; a < m.numAgents; a++ {
 			members := make(map[int][]int)
 			for w := 0; w < m.numWorlds; w++ {
-				id := int(t.parts[a].ids[w])
+				id := int(partIDs(a)[w])
 				members[id] = append(members[id], block[w])
 			}
 			for id, blocks := range members {
@@ -83,7 +85,7 @@ func (m *Model) Minimize() (*Model, []int) {
 			var b strings.Builder
 			fmt.Fprintf(&b, "%d|", block[w])
 			for a := 0; a < m.numAgents; a++ {
-				b.WriteString(classBlocks[a][int(t.parts[a].ids[w])])
+				b.WriteString(classBlocks[a][int(partIDs(a)[w])])
 				b.WriteByte('|')
 			}
 			key := b.String()
@@ -131,7 +133,7 @@ func (m *Model) Minimize() (*Model, []int) {
 		// Blocks are a-indistinguishable iff some members are.
 		first := make(map[int]int) // class id -> block
 		for w := 0; w < m.numWorlds; w++ {
-			id := int(t.parts[a].ids[w])
+			id := int(partIDs(a)[w])
 			if prev, ok := first[id]; ok {
 				q.Indistinguishable(a, prev, block[w])
 			} else {

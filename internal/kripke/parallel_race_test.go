@@ -1,0 +1,167 @@
+package kripke
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+)
+
+// buildWideModel constructs a model wide and large enough for the sharded
+// kernel paths: numAgents random partitions installed columnar, plus two
+// valuation columns.
+func buildWideModel(n, numAgents int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n, numAgents)
+	p := b.Column("p")
+	q := b.Column("q")
+	for w := 0; w < n; w++ {
+		if rng.Intn(2) == 0 {
+			p.Add(w)
+		}
+		if rng.Intn(7) != 0 {
+			q.Add(w)
+		}
+	}
+	for a := 0; a < numAgents; a++ {
+		classes := 1 + rng.Intn(n/2)
+		ids := make([]int32, n)
+		// Ensure density: first `classes` worlds pin one world per class.
+		for w := 0; w < n; w++ {
+			if w < classes {
+				ids[w] = int32(w)
+			} else {
+				ids[w] = int32(rng.Intn(classes))
+			}
+		}
+		b.SetPartition(a, ids, classes)
+	}
+	return b.Build()
+}
+
+// TestParallelKernelsRace drives the sharded partition-table construction
+// and the sharded E_G/S_G kernels from many concurrent evaluators at once
+// (run under -race). The parallelism gates are lowered and GOMAXPROCS
+// raised so the parallel paths engage even on small CI machines; results
+// are checked against a serially evaluated twin model.
+func TestParallelKernelsRace(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prevProcs)
+	restore := []struct {
+		v   *int
+		old int
+	}{
+		{&parallelPartsMinWorlds, parallelPartsMinWorlds},
+		{&parallelPartsMinAgents, parallelPartsMinAgents},
+		{&parallelKernelMinWords, parallelKernelMinWords},
+		{&parallelKernelMinAgents, parallelKernelMinAgents},
+	}
+	defer func() {
+		for _, r := range restore {
+			*r.v = r.old
+		}
+	}()
+	parallelPartsMinWorlds = 128
+	parallelPartsMinAgents = 2
+	parallelKernelMinWords = 2
+	parallelKernelMinAgents = 2
+
+	const n, agents = 1024, 8
+	formulas := []logic.Formula{
+		logic.E(nil, logic.P("p")),
+		logic.S(nil, logic.Neg(logic.P("p"))),
+		logic.E(logic.NewGroup(0, 3, 5, 7), logic.Disj(logic.P("p"), logic.P("q"))),
+		logic.S(logic.NewGroup(1, 2, 4, 6), logic.P("q")),
+		logic.EK(nil, 3, logic.P("q")),
+		logic.C(nil, logic.Disj(logic.P("p"), logic.P("q"))),
+		logic.D(logic.NewGroup(0, 1, 2, 3), logic.P("p")),
+		logic.GFP("Z", logic.E(nil, logic.Conj(logic.P("q"), logic.X("Z")))),
+	}
+
+	// Serial reference on an identically built twin.
+	ref := buildWideModel(n, agents, 1)
+	want := make([]string, len(formulas))
+	for i, f := range formulas {
+		s, err := ref.Eval(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = s.String()
+	}
+
+	// Cold target: lazy table construction, the sharded builds and the
+	// sharded kernels all race against one another across 8 goroutines.
+	m := buildWideModel(n, agents, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g == 0 {
+				// One goroutine front-loads the sharded table build while
+				// the others already evaluate.
+				if err := m.PrepareAgents(nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for rep := 0; rep < 12; rep++ {
+				i := (g + rep) % len(formulas)
+				s, err := m.Eval(formulas[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := s.String(); got != want[i] {
+					t.Errorf("concurrent Eval(%s) = %s, want %s", formulas[i], got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Restriction concurrent with evaluation: Restrict only reads the
+	// source model (through the same lazily built tables) and the
+	// restricted copies are evaluated in their own goroutines, exercising
+	// the joint-partition inheritance remap under -race.
+	keep := bitset.New(n)
+	for w := 0; w < n; w++ {
+		if w%5 != 0 {
+			keep.Add(w)
+		}
+	}
+	subWant := make([]string, len(formulas))
+	{
+		sub := ref.Restrict(keep)
+		for i, f := range formulas {
+			s, err := sub.Eval(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subWant[i] = s.String()
+		}
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := m.Restrict(keep)
+			for i, f := range formulas {
+				s, err := sub.Eval(f)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := s.String(); got != subWant[i] {
+					t.Errorf("restricted Eval(%s) = %s, want %s", f, got, subWant[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,281 @@
+package kripke
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+)
+
+// randModel builds a random model: n worlds, numAgents agents, random
+// valuation columns for props p/q/r, and random indistinguishability edges
+// per agent (edge-based, so the DSU construction path is exercised).
+func randModel(rng *rand.Rand, n, numAgents int) *Model {
+	m := NewModel(n, numAgents)
+	for w := 0; w < n; w++ {
+		m.SetName(w, fmt.Sprintf("v%d", w))
+		if rng.Intn(2) == 0 {
+			m.SetTrue(w, "p")
+		}
+		if rng.Intn(3) == 0 {
+			m.SetTrue(w, "q")
+		}
+		if rng.Intn(5) == 0 {
+			m.SetTrue(w, "r")
+		}
+	}
+	for a := 0; a < numAgents; a++ {
+		edges := rng.Intn(2 * n)
+		for e := 0; e < edges; e++ {
+			m.Indistinguishable(a, rng.Intn(n), rng.Intn(n))
+		}
+	}
+	return m
+}
+
+// propertyFormulas is a battery covering every knowledge operator, with
+// groups drawn from the model's agents.
+func propertyFormulas(numAgents int) []logic.Formula {
+	p, q, r := logic.P("p"), logic.P("q"), logic.P("r")
+	g2 := logic.NewGroup(0, logic.Agent(numAgents-1))
+	fs := []logic.Formula{
+		p,
+		logic.Neg(q),
+		logic.Conj(p, logic.Neg(r)),
+		logic.K(0, p),
+		logic.K(logic.Agent(numAgents-1), logic.Disj(p, q)),
+		logic.E(nil, p),
+		logic.S(nil, logic.Neg(p)),
+		logic.E(g2, logic.Imp(q, p)),
+		logic.D(nil, p),
+		logic.D(g2, logic.Conj(p, q)),
+		logic.C(nil, logic.Disj(p, q, r)),
+		logic.C(g2, p),
+		logic.EK(nil, 3, p),
+		logic.K(0, logic.C(g2, logic.Disj(p, q))),
+		logic.GFP("Z", logic.E(nil, logic.Conj(p, logic.X("Z")))),
+	}
+	return fs
+}
+
+// restrictByHand rebuilds the submodel of m induced by keep from scratch
+// with the incremental, edge-based API — the reference Restrict is checked
+// against.
+func restrictByHand(m *Model, keep *bitset.Set) *Model {
+	old := keep.Elements()
+	sub := NewModel(len(old), m.NumAgents())
+	for i, w := range old {
+		for _, prop := range m.Facts() {
+			if m.FactSet(prop).Contains(w) {
+				sub.SetTrue(i, prop)
+			}
+		}
+	}
+	for a := 0; a < m.NumAgents(); a++ {
+		for i := 0; i < len(old); i++ {
+			for j := i + 1; j < len(old); j++ {
+				if m.SameClass(a, old[i], old[j]) {
+					sub.Indistinguishable(a, i, j)
+				}
+			}
+		}
+	}
+	return sub
+}
+
+// TestRestrictAgreesWithHandRestriction is the guard on the incremental
+// construction paths: evaluating on Restrict(keep) — including the
+// remapped joint-view partitions and the renamed class ids — must agree
+// with evaluating on a model rebuilt by hand over the kept worlds.
+func TestRestrictAgreesWithHandRestriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(120)
+		numAgents := 1 + rng.Intn(5)
+		m := randModel(rng, n, numAgents)
+		formulas := propertyFormulas(numAgents)
+
+		// Warm the derived caches (joint views, reachability, partitions)
+		// so Restrict has memoized state to inherit and remap.
+		for _, f := range formulas {
+			if _, err := m.Eval(f); err != nil {
+				t.Fatalf("trial %d: warm eval %s: %v", trial, f, err)
+			}
+		}
+
+		// Random non-empty keep set.
+		keep := bitset.New(n)
+		for w := 0; w < n; w++ {
+			if rng.Intn(3) != 0 {
+				keep.Add(w)
+			}
+		}
+		if keep.IsEmpty() {
+			keep.Add(rng.Intn(n))
+		}
+
+		sub := m.Restrict(keep)
+		ref := restrictByHand(m, keep)
+
+		if got, want := sub.NumWorlds(), keep.Count(); got != want {
+			t.Fatalf("trial %d: Restrict has %d worlds, want %d", trial, got, want)
+		}
+		for _, f := range formulas {
+			got, err := sub.Eval(f)
+			if err != nil {
+				t.Fatalf("trial %d: eval %s on Restrict: %v", trial, f, err)
+			}
+			want, err := ref.Eval(f)
+			if err != nil {
+				t.Fatalf("trial %d: eval %s on reference: %v", trial, f, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: Eval(%s) on Restrict = %s, want %s (keep=%s)",
+					trial, f, got, want, keep)
+			}
+		}
+
+		// A second restriction chained on the first exercises remapping of
+		// already-remapped (pending) joint partitions.
+		keep2 := bitset.New(sub.NumWorlds())
+		for w := 0; w < sub.NumWorlds(); w++ {
+			if rng.Intn(4) != 0 {
+				keep2.Add(w)
+			}
+		}
+		if keep2.IsEmpty() {
+			keep2.Add(0)
+		}
+		sub2 := sub.Restrict(keep2)
+		ref2 := restrictByHand(ref, keep2)
+		for _, f := range formulas {
+			got, err := sub2.Eval(f)
+			if err != nil {
+				t.Fatalf("trial %d: eval %s on chained Restrict: %v", trial, f, err)
+			}
+			want, err := ref2.Eval(f)
+			if err != nil {
+				t.Fatalf("trial %d: eval %s on chained reference: %v", trial, f, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: chained Eval(%s) = %s, want %s", trial, f, got, want)
+			}
+		}
+	}
+}
+
+// TestRestrictThenMutateDropsInheritedJoint pins the invalidation contract:
+// incremental construction on a restricted model must discard the
+// joint-view partitions it inherited, or D_G would be answered from the
+// pre-mutation relations.
+func TestRestrictThenMutateDropsInheritedJoint(t *testing.T) {
+	m := NewModel(3, 2)
+	m.SetTrue(0, "p")
+	m.SetTrue(1, "p")
+	m.Indistinguishable(0, 0, 2) // agent 0 confuses 0 and 2; agent 1 discrete
+	g := logic.NewGroup(0, 1)
+	// Memoize the joint partition (still discrete: agent 1 separates all
+	// worlds), then restrict to everything — the submodel inherits it.
+	if _, err := m.Eval(logic.D(g, logic.P("p"))); err != nil {
+		t.Fatal(err)
+	}
+	sub := m.Restrict(bitset.NewFull(3))
+	// Mutate the restricted model: now agent 1 confuses 0 and 2 as well,
+	// so the joint view of {0,1} merges them.
+	sub.Indistinguishable(1, 0, 2)
+	got, err := sub.Eval(logic.D(g, logic.P("p")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// World 2 falsifies p and is now jointly indistinguishable from 0.
+	want := bitset.New(3)
+	want.Add(1)
+	if !got.Equal(want) {
+		t.Fatalf("D_G p after post-restriction mutation = %s, want %s", got, want)
+	}
+}
+
+// TestMinimizePreservesVerdicts checks that the bisimulation quotient
+// satisfies exactly the same E/C/D (and K) formulas at corresponding
+// worlds.
+func TestMinimizePreservesVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(80)
+		numAgents := 1 + rng.Intn(4)
+		m := randModel(rng, n, numAgents)
+		q, block := m.Minimize()
+		for _, f := range propertyFormulas(numAgents) {
+			on, err := m.Eval(f)
+			if err != nil {
+				t.Fatalf("trial %d: eval %s on model: %v", trial, f, err)
+			}
+			onQ, err := q.Eval(f)
+			if err != nil {
+				t.Fatalf("trial %d: eval %s on quotient: %v", trial, f, err)
+			}
+			for w := 0; w < n; w++ {
+				if on.Contains(w) != onQ.Contains(block[w]) {
+					t.Fatalf("trial %d: Minimize changed the verdict of %s at world %d (block %d)",
+						trial, f, w, block[w])
+				}
+			}
+		}
+	}
+}
+
+// TestRefineAgentAgreesWithEdgeRebuild guards the id-renumbering path of
+// RefineAgent against a pairwise-edge reference.
+func TestRefineAgentAgreesWithEdgeRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(60)
+		numAgents := 1 + rng.Intn(4)
+		m := randModel(rng, n, numAgents)
+		a := rng.Intn(numAgents)
+		phi, err := m.Eval(logic.Disj(logic.P("p"), logic.P("q")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.RefineAgent(a, phi)
+
+		// Reference: rebuild with pairwise edges, splitting a's classes.
+		ref := NewModel(n, numAgents)
+		for _, prop := range m.Facts() {
+			set := m.FactSet(prop)
+			for w := 0; w < n; w++ {
+				if set.Contains(w) {
+					ref.SetTrue(w, prop)
+				}
+			}
+		}
+		for b := 0; b < numAgents; b++ {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if !m.SameClass(b, i, j) {
+						continue
+					}
+					if b == a && phi.Contains(i) != phi.Contains(j) {
+						continue
+					}
+					ref.Indistinguishable(b, i, j)
+				}
+			}
+		}
+		for _, f := range propertyFormulas(numAgents) {
+			g, err := got.Eval(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := ref.Eval(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(w) {
+				t.Fatalf("trial %d: RefineAgent Eval(%s) = %s, want %s", trial, f, g, w)
+			}
+		}
+	}
+}

@@ -10,6 +10,14 @@
 // simultaneous answers to "do you know whether you are muddy?" is likewise
 // a public announcement of the full answer vector.
 //
+// Construction is columnar: the muddiness facts are periodic bit patterns
+// written whole words at a time, and child i's view partition is installed
+// directly as dense class ids (drop bit i of the world index), so building
+// the 2^n-world model costs O(n·2^n/64) word writes plus one O(n·2^n)
+// arithmetic pass — no per-world maps and no union-find. The actual world
+// is tracked through announcements by its rank in the kept set rather than
+// by name lookup.
+//
 // The package reproduces the puzzle's quantitative behaviour: with the
 // announcement, the muddy children first answer "yes" in round k (k = number
 // of muddy children) after k−1 rounds of unanimous "no"; without it — or
@@ -20,19 +28,27 @@ import (
 	"fmt"
 	"math/bits"
 	"strconv"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/kripke"
 	"repro/internal/logic"
 )
 
+// MaxChildren is the largest supported puzzle size; the model has 2^n
+// worlds, so n=20 is a million-world model.
+const MaxChildren = 20
+
 // Puzzle is a muddy children instance: the current epistemic model plus the
 // actual world (the true muddiness assignment).
 type Puzzle struct {
-	n          int
-	actual     int // bitmask: bit i set iff child i is muddy
-	actualName string
-	model      *kripke.Model
+	n      int
+	actual int // bitmask: bit i set iff child i is muddy
+	// actualWorld is the index of the actual world in the current model,
+	// maintained across announcements; -1 if an inconsistent update
+	// eliminated it.
+	actualWorld int
+	model       *kripke.Model
 }
 
 // MuddyProp returns the ground-fact name for "child i is muddy".
@@ -41,10 +57,40 @@ func MuddyProp(i int) string { return "muddy" + strconv.Itoa(i) }
 // MProp is the ground fact m: "at least one child is muddy".
 const MProp = "m"
 
+// muddyPattern returns the 64-bit word wi of the membership column of
+// "child i is muddy" over worlds indexed by muddiness mask: bit w of the
+// column is set iff w has bit i. For i < 6 the pattern repeats inside
+// every word; for i >= 6 whole words are all-ones or all-zeros.
+func muddyPattern(i, wi int) uint64 {
+	if i >= 6 {
+		if (wi>>(i-6))&1 != 0 {
+			return ^uint64(0)
+		}
+		return 0
+	}
+	// Alternating runs of 2^i bits, starting with zeros.
+	var p uint64
+	switch i {
+	case 0:
+		p = 0xAAAAAAAAAAAAAAAA
+	case 1:
+		p = 0xCCCCCCCCCCCCCCCC
+	case 2:
+		p = 0xF0F0F0F0F0F0F0F0
+	case 3:
+		p = 0xFF00FF00FF00FF00
+	case 4:
+		p = 0xFFFF0000FFFF0000
+	case 5:
+		p = 0xFFFFFFFF00000000
+	}
+	return p
+}
+
 // New creates a puzzle with n children, the listed ones muddy.
 func New(n int, muddy []int) (*Puzzle, error) {
-	if n < 1 || n > 20 {
-		return nil, fmt.Errorf("muddy: n = %d out of supported range [1, 20]", n)
+	if n < 1 || n > MaxChildren {
+		return nil, fmt.Errorf("muddy: n = %d out of supported range [1, %d]", n, MaxChildren)
 	}
 	actual := 0
 	for _, c := range muddy {
@@ -54,26 +100,33 @@ func New(n int, muddy []int) (*Puzzle, error) {
 		actual |= 1 << c
 	}
 	worlds := 1 << n
-	m := kripke.NewModel(worlds, n)
-	for w := 0; w < worlds; w++ {
-		m.SetName(w, strconv.Itoa(w))
-		if w != 0 {
-			m.SetTrue(w, MProp)
-		}
-		for i := 0; i < n; i++ {
-			if w&(1<<i) != 0 {
-				m.SetTrue(w, MuddyProp(i))
-			}
-		}
-	}
+	b := kripke.NewBuilder(worlds, n)
+
+	// m holds everywhere except the all-clean world 0.
+	mcol := b.Column(MProp)
+	mcol.Fill()
+	mcol.Remove(0)
+
+	// muddy_i is a periodic pattern over the mask-indexed worlds.
 	for i := 0; i < n; i++ {
-		for w := 0; w < worlds; w++ {
-			if w&(1<<i) == 0 {
-				m.Indistinguishable(i, w, w|(1<<i))
-			}
+		col := b.Column(MuddyProp(i))
+		cw := col.Words()
+		for wi := range cw {
+			cw[wi] = muddyPattern(i, wi) & col.WordMask(wi)
 		}
 	}
-	return &Puzzle{n: n, actual: actual, actualName: strconv.Itoa(actual), model: m}, nil
+
+	// Child i's view: every forehead but its own, i.e. the world index
+	// with bit i dropped — already a dense class id.
+	for i := 0; i < n; i++ {
+		ids := make([]int32, worlds)
+		low := (1 << i) - 1
+		for w := 0; w < worlds; w++ {
+			ids[w] = int32((w>>(i+1))<<i | w&low)
+		}
+		b.SetPartition(i, ids, worlds>>1)
+	}
+	return &Puzzle{n: n, actual: actual, actualWorld: actual, model: b.Build()}, nil
 }
 
 // N returns the number of children.
@@ -87,11 +140,23 @@ func (p *Puzzle) Model() *kripke.Model { return p.model }
 
 // ActualWorld returns the index of the actual world in the current model.
 func (p *Puzzle) ActualWorld() (int, error) {
-	w, ok := p.model.WorldByName(p.actualName)
-	if !ok {
+	if p.actualWorld < 0 {
 		return 0, fmt.Errorf("muddy: actual world eliminated — inconsistent update")
 	}
-	return w, nil
+	return p.actualWorld, nil
+}
+
+// announce applies a truthful public announcement given as a world set,
+// tracking the actual world through the restriction by rank.
+func (p *Puzzle) announce(keep *bitset.Set) {
+	if p.actualWorld >= 0 {
+		if keep.Contains(p.actualWorld) {
+			p.actualWorld = keep.Rank(p.actualWorld)
+		} else {
+			p.actualWorld = -1
+		}
+	}
+	p.model = p.model.Restrict(keep)
 }
 
 // HoldsNow reports whether f holds at the actual world of the current model.
@@ -109,11 +174,11 @@ func (p *Puzzle) FatherAnnounces() error {
 	if p.actual == 0 {
 		return fmt.Errorf("muddy: father cannot truthfully announce m with no muddy children")
 	}
-	next, err := p.model.Announce(logic.P(MProp))
+	keep, err := p.model.Eval(logic.P(MProp))
 	if err != nil {
 		return err
 	}
-	p.model = next
+	p.announce(keep)
 	return nil
 }
 
@@ -137,46 +202,61 @@ func (p *Puzzle) FatherTellsPrivately() error {
 	if p.model.NumWorlds() != 1<<p.n {
 		return fmt.Errorf("muddy: private announcement requires a fresh puzzle")
 	}
-	nWorlds := 0
 	type world struct{ mask, told int }
 	var ws []world
+	actualIdx := -1
+	allTold := (1 << p.n) - 1
 	for mask := 0; mask < 1<<p.n; mask++ {
 		for told := 0; told < 1<<p.n; told++ {
 			if mask == 0 && told != 0 {
 				continue // the father cannot truthfully tell m
 			}
+			if mask == p.actual && told == allTold {
+				actualIdx = len(ws)
+			}
 			ws = append(ws, world{mask: mask, told: told})
-			nWorlds++
 		}
 	}
-	m := kripke.NewModel(nWorlds, p.n)
+	b := kripke.NewBuilder(len(ws), p.n)
+	mcol := b.Column(MProp)
+	muddyCols := make([]*bitset.Set, p.n)
+	for i := range muddyCols {
+		muddyCols[i] = b.Column(MuddyProp(i))
+	}
 	for w, ww := range ws {
-		m.SetName(w, fmt.Sprintf("%d@%d", ww.mask, ww.told))
+		b.SetName(w, fmt.Sprintf("%d@%d", ww.mask, ww.told))
 		if ww.mask != 0 {
-			m.SetTrue(w, MProp)
+			mcol.Add(w)
 		}
 		for i := 0; i < p.n; i++ {
 			if ww.mask&(1<<i) != 0 {
-				m.SetTrue(w, MuddyProp(i))
+				muddyCols[i].Add(w)
 			}
 		}
 	}
 	// Child i's view: the foreheads of the others plus its own told bit
 	// (and the content m if told, which the world structure encodes: a
-	// told child inhabits only m-worlds).
+	// told child inhabits only m-worlds). The view key packs into n+1
+	// bits, so the class ids come from a renumbering pass, no hashing.
+	mark := make([]int32, 1<<(p.n+1))
 	for i := 0; i < p.n; i++ {
-		first := make(map[[2]int]int)
-		for w, ww := range ws {
-			key := [2]int{ww.mask &^ (1 << i), ww.told & (1 << i)}
-			if prev, ok := first[key]; ok {
-				m.Indistinguishable(i, prev, w)
-			} else {
-				first[key] = w
-			}
+		for k := range mark {
+			mark[k] = -1
 		}
+		ids := make([]int32, len(ws))
+		next := int32(0)
+		for w, ww := range ws {
+			key := (ww.mask&^(1<<i))<<1 | (ww.told>>i)&1
+			if mark[key] < 0 {
+				mark[key] = next
+				next++
+			}
+			ids[w] = mark[key]
+		}
+		b.SetPartition(i, ids, int(next))
 	}
-	p.model = m
-	p.actualName = fmt.Sprintf("%d@%d", p.actual, (1<<p.n)-1)
+	p.model = b.Build()
+	p.actualWorld = actualIdx
 	return nil
 }
 
@@ -192,6 +272,12 @@ type RoundResult struct {
 	// Yes[i] is true iff child i answered "yes, I can prove whether my
 	// forehead is muddy".
 	Yes []bool
+	// EvalTime is the time spent evaluating the children's knowledge (the
+	// n "do you know?" formulas) on the current model.
+	EvalTime time.Duration
+	// BuildTime is the time spent applying the public announcement of the
+	// answer vector (restricting the model).
+	BuildTime time.Duration
 }
 
 // AnyYes reports whether any child answered yes.
@@ -212,6 +298,13 @@ func (p *Puzzle) Round() (RoundResult, error) {
 	if err != nil {
 		return RoundResult{}, err
 	}
+	evalStart := time.Now()
+	// Build all children's partition tables up front (sharded across
+	// goroutines on large models) so the per-child evaluations below don't
+	// construct them one at a time.
+	if err := p.model.PrepareAgents(nil); err != nil {
+		return RoundResult{}, err
+	}
 	// knowSets[i] = worlds where child i would answer yes.
 	knowSets := make([]*bitset.Set, p.n)
 	for i := 0; i < p.n; i++ {
@@ -225,8 +318,10 @@ func (p *Puzzle) Round() (RoundResult, error) {
 	for i := 0; i < p.n; i++ {
 		res.Yes[i] = knowSets[i].Contains(actual)
 	}
+	res.EvalTime = time.Since(evalStart)
 	// Public announcement of the answer vector: keep the worlds whose
 	// hypothetical answers match the actual ones.
+	buildStart := time.Now()
 	keep := bitset.NewFull(p.model.NumWorlds())
 	for i := 0; i < p.n; i++ {
 		if res.Yes[i] {
@@ -235,7 +330,8 @@ func (p *Puzzle) Round() (RoundResult, error) {
 			keep.AndNot(knowSets[i])
 		}
 	}
-	p.model = p.model.Restrict(keep)
+	p.announce(keep)
+	res.BuildTime = time.Since(buildStart)
 	return res, nil
 }
 
@@ -249,6 +345,9 @@ type SimResult struct {
 	// muddy children.
 	YesAreMuddy bool
 	Rounds      []RoundResult
+	// BuildTime is the time spent constructing the initial model and
+	// applying the father's announcement (if any).
+	BuildTime time.Duration
 }
 
 // AnnouncementMode selects how the father communicates m.
@@ -267,6 +366,7 @@ const (
 // Simulate runs the puzzle with n children, the listed ones muddy, under
 // the given announcement mode, for at most maxRounds rounds.
 func Simulate(n int, muddy []int, mode AnnouncementMode, maxRounds int) (SimResult, error) {
+	buildStart := time.Now()
 	p, err := New(n, muddy)
 	if err != nil {
 		return SimResult{}, err
@@ -285,7 +385,7 @@ func Simulate(n int, muddy []int, mode AnnouncementMode, maxRounds int) (SimResu
 		return SimResult{}, fmt.Errorf("muddy: unknown announcement mode %d", mode)
 	}
 
-	res := SimResult{N: n, K: p.NumMuddy()}
+	res := SimResult{N: n, K: p.NumMuddy(), BuildTime: time.Since(buildStart)}
 	for round := 1; round <= maxRounds; round++ {
 		r, err := p.Round()
 		if err != nil {

@@ -1,0 +1,101 @@
+package protocol
+
+import "repro/internal/runs"
+
+// Timeline is the precomputed sequence of local views of one processor
+// through one run. The views at successive times share one pair of backing
+// arrays — a processor's observed sends (respectively receives) at time t
+// are a prefix of those at t+1 — so At is allocation-free: it returns slice
+// headers into the shared arrays plus the clock reading.
+//
+// Exhaustive analyses that re-derive views for every (rule, run, time)
+// triple (the coordinated-attack rule searches of Sections 4 and 7) build
+// one Timeline per (run, processor) and replay it, instead of
+// reconstructing the event history per probe the way ViewAt does.
+//
+// Callers must treat the Sent/Received slices of returned views as
+// read-only; they alias the timeline.
+type Timeline struct {
+	r    *runs.Run
+	p    int
+	sent []SentMsg
+	recv []ReceivedMsg
+	// sentBefore[t] / recvBefore[t] count the events observed strictly
+	// before time t, for t in 0..Horizon+1.
+	sentBefore []int32
+	recvBefore []int32
+}
+
+// NewTimeline precomputes processor p's views through run r.
+func NewTimeline(r *runs.Run, p int) *Timeline {
+	tl := &Timeline{r: r, p: p}
+	// Collect all events p ever observes, ordered by (time, message seq) —
+	// the same order viewOf derives per probe.
+	type ev struct {
+		at   runs.Time
+		seq  int
+		send bool
+	}
+	var evs []ev
+	for i, m := range r.Messages {
+		if m.From == p && m.SendTime <= r.Horizon {
+			evs = append(evs, ev{at: m.SendTime, seq: i, send: true})
+		}
+		if m.To == p && m.Delivered() && m.RecvTime <= r.Horizon {
+			evs = append(evs, ev{at: m.RecvTime, seq: i, send: false})
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && (evs[j].at < evs[j-1].at || (evs[j].at == evs[j-1].at && evs[j].seq < evs[j-1].seq)); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	for _, e := range evs {
+		m := r.Messages[e.seq]
+		if e.send {
+			sm := SentMsg{To: m.To, Payload: m.Payload}
+			if c, ok := r.ClockReading(p, m.SendTime); ok {
+				sm.Clock, sm.HasClock = c, true
+			}
+			tl.sent = append(tl.sent, sm)
+		} else {
+			rm := ReceivedMsg{From: m.From, Payload: m.Payload}
+			if c, ok := r.ClockReading(p, m.RecvTime); ok {
+				rm.Clock, rm.HasClock = c, true
+			}
+			tl.recv = append(tl.recv, rm)
+		}
+	}
+	// Prefix counts: events observed strictly before each time.
+	span := int(r.Horizon) + 2
+	tl.sentBefore = make([]int32, span)
+	tl.recvBefore = make([]int32, span)
+	idx := 0
+	var si, ri int32
+	for t := 0; t < span; t++ {
+		for idx < len(evs) && int(evs[idx].at) < t {
+			if evs[idx].send {
+				si++
+			} else {
+				ri++
+			}
+			idx++
+		}
+		tl.sentBefore[t] = si
+		tl.recvBefore[t] = ri
+	}
+	return tl
+}
+
+// At returns processor p's local view at time t, equal to ViewAt(r, p, t)
+// but without reconstructing the history. t must be in [0, Horizon].
+func (tl *Timeline) At(t runs.Time) LocalView {
+	v := LocalView{Me: tl.p, Init: tl.r.Init[tl.p]}
+	if c, ok := tl.r.ClockReading(tl.p, t); ok {
+		v.Clock = c
+		v.HasClock = true
+	}
+	v.Sent = tl.sent[:tl.sentBefore[t]]
+	v.Received = tl.recv[:tl.recvBefore[t]]
+	return v
+}

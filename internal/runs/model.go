@@ -22,20 +22,27 @@ type PointModel struct {
 var _ kripke.TemporalSemantics = (*PointModel)(nil)
 
 // Model builds the point model of the system under the given view function
-// and interpretation.
+// and interpretation. Construction is columnar: each interpretation fact is
+// written into its valuation column in one pass, and each agent's view
+// partition is derived by interning the view keys of all points in a single
+// sweep — one hash probe per point, no union-find — so systems rebuilt in
+// tight experiment loops pay close to the minimum possible construction
+// cost.
 func (s *System) Model(view ViewFunc, interp Interpretation) *PointModel {
 	span := int(s.Horizon) + 1
-	m := kripke.NewModel(len(s.Runs)*span, s.N)
-	pm := &PointModel{Model: m, Sys: s, View: view}
-	m.Temporal = pm
+	b := kripke.NewBuilder(len(s.Runs)*span, s.N)
 
 	for ri, r := range s.Runs {
-		for t := Time(0); t <= s.Horizon; t++ {
-			w := ri*span + int(t)
-			m.SetName(w, fmt.Sprintf("(%s,%d)", r.Name, t))
-			for prop, fn := range interp {
+		for t := 0; t < span; t++ {
+			b.SetName(ri*span+t, fmt.Sprintf("(%s,%d)", r.Name, t))
+		}
+	}
+	for prop, fn := range interp {
+		col := b.Column(prop)
+		for ri, r := range s.Runs {
+			for t := Time(0); t <= s.Horizon; t++ {
 				if fn(r, t) {
-					m.SetTrue(w, prop)
+					col.Add(ri*span + int(t))
 				}
 			}
 		}
@@ -43,19 +50,14 @@ func (s *System) Model(view ViewFunc, interp Interpretation) *PointModel {
 
 	// Partition points by view, per agent.
 	for p := 0; p < s.N; p++ {
-		first := make(map[string]int)
-		for ri, r := range s.Runs {
-			for t := Time(0); t <= s.Horizon; t++ {
-				w := ri*span + int(t)
-				key := view(r, p, t)
-				if prev, ok := first[key]; ok {
-					m.Indistinguishable(p, prev, w)
-				} else {
-					first[key] = w
-				}
-			}
-		}
+		b.PartitionFromKeys(p, func(w int) string {
+			return view(s.Runs[w/span], p, Time(w%span))
+		})
 	}
+
+	m := b.Build()
+	pm := &PointModel{Model: m, Sys: s, View: view}
+	m.Temporal = pm
 	return pm
 }
 

@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // Time is a discrete instant; points of a run are times 0..Horizon.
@@ -63,6 +62,12 @@ type Run struct {
 	// clocks[p][t] is processor p's clock reading at time t; nil means the
 	// processor has no clock.
 	clocks [][]int
+
+	// obsCache memoizes each processor's full sorted observation list
+	// (History at successive times walks prefixes of it); obsCacheN is the
+	// message count it was built from, so appended messages invalidate it.
+	obsCache  [][]observation
+	obsCacheN int
 }
 
 // NewRun returns a run with n processors, all awake from time 0, empty
@@ -209,6 +214,28 @@ func (r *Run) observations(p int, t Time) []observation {
 	return obs
 }
 
+// sortedObs returns everything processor p observes over the whole run,
+// ordered by (time, seq), memoized on the run. The observations before any
+// time t are a prefix of the list, so History at every t of a run — the
+// inner loop of point-model construction — shares one collection and one
+// sort. Appending messages invalidates the cache; callers that interleave
+// Send with History (none do) just repay the sort.
+func (r *Run) sortedObs(p int) []observation {
+	if r.obsCache == nil || r.obsCacheN != len(r.Messages) {
+		r.obsCache = make([][]observation, r.N)
+		r.obsCacheN = len(r.Messages)
+	}
+	if obs := r.obsCache[p]; obs != nil {
+		return obs
+	}
+	obs := r.observations(p, r.Horizon+1)
+	if obs == nil {
+		obs = make([]observation, 0) // cache "no events" as non-nil
+	}
+	r.obsCache[p] = obs
+	return obs
+}
+
 // History returns a canonical encoding of h(p, r, t), the local history of
 // Section 5: empty before the wake-up time; afterwards the initial state and
 // the ordered sequence of messages sent and received before t. If p has a
@@ -220,26 +247,29 @@ func (r *Run) History(p int, t Time) string {
 	if t < r.Wake[p] {
 		return "asleep"
 	}
-	var b strings.Builder
-	b.WriteString("init=")
-	b.WriteString(r.Init[p])
-	for _, o := range r.observations(p, t) {
-		b.WriteByte(';')
-		b.WriteByte(o.kind)
-		if r.HasClock(p) {
-			b.WriteByte('@')
-			b.WriteString(strconv.Itoa(r.clocks[p][o.at]))
+	hasClock := r.HasClock(p)
+	buf := make([]byte, 0, 48)
+	buf = append(buf, "init="...)
+	buf = append(buf, r.Init[p]...)
+	for _, o := range r.sortedObs(p) {
+		if o.at >= t {
+			break
 		}
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(o.peer))
-		b.WriteByte('/')
-		b.WriteString(o.payload)
+		buf = append(buf, ';', o.kind)
+		if hasClock {
+			buf = append(buf, '@')
+			buf = strconv.AppendInt(buf, int64(r.clocks[p][o.at]), 10)
+		}
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(o.peer), 10)
+		buf = append(buf, '/')
+		buf = append(buf, o.payload...)
 	}
-	if r.HasClock(p) {
-		b.WriteString(";clock=")
-		b.WriteString(strconv.Itoa(r.clocks[p][t]))
+	if hasClock {
+		buf = append(buf, ";clock="...)
+		buf = strconv.AppendInt(buf, int64(r.clocks[p][t]), 10)
 	}
-	return b.String()
+	return string(buf)
 }
 
 // System is a set of runs over the same processors and horizon — the
