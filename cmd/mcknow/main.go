@@ -48,6 +48,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcknow", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the model JSON file")
+	quotient := fs.String("quotient", "auto", "evaluate the batch on the bisimulation quotient: auto, on, off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,12 +64,31 @@ func run(args []string) error {
 		return err
 	}
 
+	// Quotient-before-eval: the whole formula batch is checked on the
+	// bisimulation quotient (when it shrinks the model) and every verdict
+	// mapped back to the original worlds, so names print unchanged.
+	var q *kripke.Quotiented
+	switch *quotient {
+	case "auto":
+		q = m.QuotientForEval(0)
+	case "on":
+		q = m.QuotientForEval(1)
+	case "off":
+		q = m.QuotientForEval(m.NumWorlds() + 1)
+	default:
+		return fmt.Errorf("bad -quotient %q (want auto, on or off)", *quotient)
+	}
+	if q.Quotiented() {
+		fmt.Printf("(evaluating on the %d-world quotient of the %d-world model)\n",
+			q.QuotientWorlds(), q.NumWorlds())
+	}
+
 	for _, src := range fs.Args() {
 		f, err := logic.Parse(src)
 		if err != nil {
 			return fmt.Errorf("parse %q: %w", src, err)
 		}
-		set, err := m.Eval(f)
+		set, err := q.Eval(f)
 		if err != nil {
 			return fmt.Errorf("eval %q: %w", src, err)
 		}

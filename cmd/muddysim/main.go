@@ -39,6 +39,7 @@ func run(args []string) error {
 	mode := fs.String("mode", "public", "announcement mode: public, none, private")
 	rounds := fs.Int("rounds", 0, "round budget (default n+2)")
 	timing := fs.Bool("time", true, "print per-round build vs eval timing")
+	quotient := fs.Bool("quotient", false, "report the bisimulation quotient of the initial model")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +74,26 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("%d children; muddy: %v; mode: %s\n\n", *n, muddySet, *mode)
+	if *quotient {
+		// Quotient-before-eval diagnostic: unlike the point models of the
+		// runs packages (where silent tails collapse), every world of the
+		// muddy model has a distinct fact vector, so the model is its own
+		// bisimulation quotient and evaluation proceeds on it directly —
+		// the granularity observation of "Common knowledge revisited" in
+		// the other direction.
+		p, err := muddy.New(*n, muddySet)
+		if err != nil {
+			return err
+		}
+		qv := p.Model().QuotientForEval(1)
+		if qv.Quotiented() {
+			fmt.Printf("quotient-before-eval: %d worlds collapse to %d\n\n",
+				qv.NumWorlds(), qv.QuotientWorlds())
+		} else {
+			fmt.Printf("quotient-before-eval: the %d-world model is already minimal (all fact vectors distinct); evaluating directly\n\n",
+				qv.NumWorlds())
+		}
+	}
 	res, err := muddy.Simulate(*n, muddySet, m, budget)
 	if err != nil {
 		return err

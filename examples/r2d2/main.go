@@ -41,13 +41,23 @@ func main() {
 	fmt.Println("R2 sends m to D2; delivery takes 0 or ε (= 1 tick).")
 	fmt.Println("In the run where m is sent at 0 and arrives at ε:")
 	fmt.Println()
+
+	// The whole batch of knowledge-only formulas below evaluates on the
+	// bisimulation quotient of the point model (silent run tails collapse),
+	// with verdicts mapped back to the original points.
+	qv := pm.EpistemicQuotient(1)
+	if qv.Quotiented() {
+		fmt.Printf("(epistemic checks run on the %d-world quotient of the %d-point model)\n\n",
+			qv.QuotientWorlds(), qv.NumWorlds())
+	}
+
 	fmt.Printf("%-28s %s\n", "level", "first holds at")
 	phi := repro.P("sent")
 	label := "sent"
 	for k := 1; k <= 4; k++ {
 		phi = repro.K(0, repro.K(1, phi))
 		label = "K_R K_D " + label
-		set, err := pm.Eval(phi)
+		set, err := qv.Eval(phi)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -63,7 +73,7 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println("One ε per level — so C sent(m), which implies every level, never holds:")
-	ck, _ := pm.Eval(repro.MustParse("C sent"))
+	ck, _ := qv.Eval(repro.MustParse("C sent"))
 	fmt.Printf("  C sent holds at %d points (while send times remain uncertain)\n", countEarly(pm, ck, 5))
 
 	ce, _ := pm.Eval(repro.MustParse("Ce[1] sent"))

@@ -831,6 +831,22 @@ func E13Fixpoint() (*Report, error) {
 		rep.addf("C p by gfp == C p by components; %d iterations on the %d-world chain", iters, n)
 	}
 
+	// The same fixed point a third way: generic chaotic iteration over the
+	// support form of X ↦ E(p ∧ X) (fixpoint.GFPWorklist driving the
+	// kripke worklist stepper).
+	first, step, err := m.SupportStep(nil, logic.P("p"))
+	if err != nil {
+		return nil, err
+	}
+	wl, wlRounds := fixpoint.GFPWorklist(first, step)
+	if !wl.Equal(direct) {
+		rep.failf("chaotic iteration disagrees with reachability components")
+	} else if wlRounds != iters {
+		rep.failf("chaotic iteration took %d rounds, Knaster–Tarski %d", wlRounds, iters)
+	} else {
+		rep.addf("C p by chaotic iteration (worklist) agrees, same %d rounds", wlRounds)
+	}
+
 	nu := logic.MustParse("nu X . E (p & X)").(logic.Nu)
 	if err := fixpoint.CheckFixedPointAxiom(m, nu); err != nil {
 		rep.failf("%v", err)

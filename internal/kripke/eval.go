@@ -54,6 +54,12 @@ type evaluator struct {
 	memo    map[string]*bitset.Set
 	retired []*bitset.Set // memo values owned by the evaluator, recycled on reset
 
+	// Worklist-fixpoint scratch (worklist.go): the resolved partition list
+	// of the current body and the per-partition class stamps, which persist
+	// across the whole chaotic iteration so each class is removed once.
+	wparts  []*partition
+	wstamps []kernelScratch
+
 	empty *bitset.Set // canonical shared ∅ (never mutated)
 	full  *bitset.Set // canonical shared universe (never mutated)
 
@@ -475,20 +481,48 @@ func (ev *evaluator) evalCompound(f logic.Formula, env *binding) (*bitset.Set, b
 	}
 }
 
-// fixpoint computes νX.body (greatest = true) or μX.body (least) by the
-// standard Knaster–Tarski iteration of Appendix A. On a finite model the
-// iteration converges in at most NumWorlds+1 steps for monotone bodies;
-// non-monotone bodies (which WellFormed rejects) would oscillate, so the
-// iteration is capped and an error returned if no fixed point is reached.
+// fixpoint computes νX.body (greatest = true) or μX.body (least). Greatest
+// fixed points whose body has the support shape op_G(φ ∧ X) — the shape of
+// the C_G characterization — take the incremental worklist path of
+// worklist.go, which propagates only the worlds that left the approximant
+// instead of re-evaluating the whole body per step. Everything else falls
+// back to the naive Knaster–Tarski iteration. Both paths report the same
+// iteration count in ev.fixIters.
+func (ev *evaluator) fixpoint(name string, body logic.Formula, env *binding, greatest bool) (*bitset.Set, bool, error) {
+	if p := logic.PolarityOf(body, name); p == logic.PolarityNegative || p == logic.PolarityMixed {
+		return nil, false, fmt.Errorf("kripke: %s occurs non-positively in fixed point body %s", name, body)
+	}
+	if greatest {
+		if mod, phi, ok := worklistShape(name, body); ok {
+			// φ must be evaluated before resolving the partition list:
+			// a nested supported ν inside φ re-enters worklistParts and
+			// would clobber the shared ev.wparts scratch.
+			phiSet, owned, err := ev.eval(phi, env)
+			if err != nil {
+				return nil, false, err
+			}
+			if parts, ok := ev.worklistParts(mod); ok {
+				res := ev.fixpointWorklist(parts, phiSet)
+				ev.releaseIf(phiSet, owned)
+				return res, true, nil
+			}
+			ev.releaseIf(phiSet, owned)
+		}
+	}
+	return ev.fixpointNaive(name, body, env, greatest)
+}
+
+// fixpointNaive is the standard Knaster–Tarski iteration of Appendix A. On
+// a finite model the iteration converges in at most NumWorlds+1 steps for
+// monotone bodies; non-monotone bodies (which WellFormed rejects) would
+// oscillate, so the iteration is capped and an error returned if no fixed
+// point is reached.
 //
 // The iteration runs in place: the binding's set is a single scratch
 // buffer the next approximant is copied into, and closed subformulas of
 // the body hit the evaluator memo, so each step costs one body evaluation
 // over the open part of the formula and no allocation.
-func (ev *evaluator) fixpoint(name string, body logic.Formula, env *binding, greatest bool) (*bitset.Set, bool, error) {
-	if p := logic.PolarityOf(body, name); p == logic.PolarityNegative || p == logic.PolarityMixed {
-		return nil, false, fmt.Errorf("kripke: %s occurs non-positively in fixed point body %s", name, body)
-	}
+func (ev *evaluator) fixpointNaive(name string, body logic.Formula, env *binding, greatest bool) (*bitset.Set, bool, error) {
 	cur := ev.alloc()
 	if greatest {
 		cur.Fill()

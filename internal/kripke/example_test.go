@@ -1,0 +1,64 @@
+package kripke_test
+
+import (
+	"fmt"
+
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+// ExampleModel_Eval builds the "chain of ignorance" model of Section 6 —
+// agent 0 confuses w0/w1, agent 1 confuses w1/w2 — and walks the knowledge
+// hierarchy of Section 3: everyone knows p, but nobody knows that everyone
+// knows it, and common knowledge (evaluated as the greatest fixed point
+// νX.E(p ∧ X) as well as via reachability components) fails everywhere.
+func ExampleModel_Eval() {
+	m := kripke.NewModel(3, 2)
+	m.SetTrue(0, "p")
+	m.SetTrue(1, "p")
+	m.Indistinguishable(0, 0, 1)
+	m.Indistinguishable(1, 1, 2)
+
+	for _, src := range []string{
+		"p",
+		"E p",
+		"E (E p)",
+		"C p",
+		"nu X . E (p & X)", // C p by its fixed-point characterization
+	} {
+		f := logic.MustParse(src)
+		set, err := m.Eval(f)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s holds at %d world(s)\n", f, set.Count())
+	}
+	// Output:
+	// p                holds at 2 world(s)
+	// E p              holds at 1 world(s)
+	// E E p            holds at 0 world(s)
+	// C p              holds at 0 world(s)
+	// nu X . E (p & X) holds at 0 world(s)
+}
+
+// ExampleModel_QuotientForEval evaluates a batch of formulas on the
+// bisimulation quotient of a model with two identical components, mapping
+// the verdicts back to the original worlds.
+func ExampleModel_QuotientForEval() {
+	m := kripke.NewModel(4, 1)
+	m.SetTrue(0, "p")
+	m.SetTrue(2, "p")
+	m.Indistinguishable(0, 0, 1)
+	m.Indistinguishable(0, 2, 3)
+
+	q := m.QuotientForEval(1)
+	fmt.Printf("evaluating %d worlds on a %d-world quotient\n", q.NumWorlds(), q.QuotientWorlds())
+	set, err := q.Eval(logic.MustParse("K0 p"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("K0 p holds at %s of the original model\n", set)
+	// Output:
+	// evaluating 4 worlds on a 2-world quotient
+	// K0 p holds at {} of the original model
+}

@@ -3,7 +3,8 @@ package kripke
 import (
 	"fmt"
 	"sort"
-	"strings"
+
+	"repro/internal/bitset"
 )
 
 // Minimize returns the bisimulation quotient of the model: the smallest
@@ -12,147 +13,253 @@ import (
 //
 // Point models built from large systems often contain many epistemically
 // identical points (e.g. every silent tail of a run); minimizing before
-// repeated evaluation can shrink them substantially. The quotient is
-// computed by partition refinement: blocks start as valuation classes and
-// split until every block has, for every agent, the same set of blocks
-// reachable through that agent's indistinguishability class.
+// repeated evaluation can shrink them substantially — see QuotientForEval
+// for the batch-evaluation front end. The quotient is computed by partition
+// refinement on dense class ids: blocks start as valuation classes (one
+// split per fact column) and split until every block has, for every agent,
+// the same set of blocks reachable through that agent's view class. All
+// bookkeeping is int32 renumbering through reusable mark tables and
+// uint64-keyed pair maps — the same columnar machinery the Builder and
+// Restrict use — not string signatures.
+//
+// # The block-map contract
+//
+// The returned slice ("block map") has exactly NumWorlds entries; entry w
+// is the quotient world that old world w collapsed to. Every entry is a
+// valid world of the quotient — values are dense in [0, q.NumWorlds()) and
+// there is no sentinel (no -1, and 0 is an ordinary block id). Blocks are
+// numbered by first occurrence: block b's representative — the world
+// quotient facts and names are taken from — is the smallest old world w
+// with block[w] == b, so block[0] == 0 and each new id exceeds the previous
+// maximum by exactly one. Callers may therefore invert the map by a single
+// forward scan, and may map any denotation back with set.Contains(block[w]).
 //
 // The quotient does not preserve the run/time structure, so the Temporal
 // hook is not carried over; minimize only models whose formulas are free
 // of the run-based operators.
 func (m *Model) Minimize() (*Model, []int) {
-	t := m.tables()
-	m.ensureParts(t, t.allAgents)
-	partIDs := func(a int) []int32 { return t.parts[a].Load().ids }
-
-	// Initial partition: by fact signature.
-	block := make([]int, m.numWorlds)
-	{
-		props := make([]string, 0, len(m.valuation))
-		for p := range m.valuation {
-			props = append(props, p)
-		}
-		sort.Strings(props)
-		sig := make(map[string]int)
-		for w := 0; w < m.numWorlds; w++ {
-			var b strings.Builder
-			for _, p := range props {
-				if m.valuation[p].Contains(w) {
-					b.WriteString(p)
-					b.WriteByte(';')
-				}
-			}
-			key := b.String()
-			id, ok := sig[key]
-			if !ok {
-				id = len(sig)
-				sig[key] = id
-			}
-			block[w] = id
-		}
+	W := m.numWorlds
+	outBlock := make([]int, W)
+	if W == 0 {
+		return NewModel(0, m.numAgents), outBlock
 	}
 
-	// Refine until stable: signature = (block, for each agent the sorted
-	// set of blocks in the agent's class).
-	for {
-		sig := make(map[string]int)
-		next := make([]int, m.numWorlds)
-		// classBlocks[a][class] caches the sorted block set of a class.
-		classBlocks := make([]map[int]string, m.numAgents)
-		for a := range classBlocks {
-			classBlocks[a] = make(map[int]string)
+	// block[w] is w's current block id; ids are dense in [0, n) and always
+	// assigned in first-occurrence order, which is what makes the final
+	// map satisfy the contract above without a renumbering pass.
+	block := make([]int32, W)
+	n := int32(1)
+
+	var mark []int32
+	// splitByBit refines the blocks by membership in col: (block, bit)
+	// pairs are renumbered densely through the mark table.
+	splitByBit := func(col *bitset.Set) {
+		need := 2 * int(n)
+		if cap(mark) < need {
+			mark = make([]int32, need)
 		}
-		for a := 0; a < m.numAgents; a++ {
-			members := make(map[int][]int)
-			for w := 0; w < m.numWorlds; w++ {
-				id := int(partIDs(a)[w])
-				members[id] = append(members[id], block[w])
+		mk := mark[:need]
+		for i := range mk {
+			mk[i] = -1
+		}
+		next := int32(0)
+		for w := 0; w < W; w++ {
+			k := 2 * block[w]
+			if col.Contains(w) {
+				k++
 			}
-			for id, blocks := range members {
-				sort.Ints(blocks)
-				var b strings.Builder
-				prev := -1
-				for _, bl := range blocks {
-					if bl != prev {
-						fmt.Fprintf(&b, "%d,", bl)
-						prev = bl
-					}
+			if mk[k] < 0 {
+				mk[k] = next
+				next++
+			}
+			block[w] = mk[k]
+		}
+		n = next
+	}
+
+	// Initial partition: by fact signature, one column at a time (sorted
+	// fact order keeps the numbering deterministic).
+	for _, prop := range m.Facts() {
+		splitByBit(m.valuation[prop])
+	}
+
+	// Resolve each agent's class ids once. A nil entry is the discrete
+	// relation, which never splits anything: the blockset of a singleton
+	// class is the world's own block, already part of the signature.
+	type rel struct {
+		ids []int32
+		n   int
+	}
+	rels := make([]rel, m.numAgents)
+	for a := range rels {
+		ids, cn := m.relIDs(a)
+		rels[a] = rel{ids, cn}
+	}
+
+	// classSigs assigns every class of one agent an interned id of its set
+	// of current blocks (equal block sets ⇔ equal ids). Scratch: a counting
+	// sort of worlds by class, an epoch stamp to deduplicate blocks within
+	// a class, and a pair-fold interner for the sorted block lists — each
+	// sorted list folds left through a map[uint64]int32, which is injective
+	// on sequences, so no strings or hashes that could collide are
+	// involved. Sig ids are bounded by the total list length, hence < W.
+	members := make([]int32, W)
+	cursor := make([]int32, W)
+	var (
+		off    []int32
+		seen   []int32
+		epoch  int32
+		gather []int32
+		sig    []int32
+	)
+	setIDs := make(map[uint64]int32)
+	classSigs := func(r rel) []int32 {
+		cn := r.n
+		if cap(off) < cn+1 {
+			off = make([]int32, cn+1)
+		}
+		ofs := off[:cn+1]
+		for i := range ofs {
+			ofs[i] = 0
+		}
+		for _, id := range r.ids {
+			ofs[id+1]++
+		}
+		for c := 0; c < cn; c++ {
+			ofs[c+1] += ofs[c]
+		}
+		cur := cursor[:cn]
+		copy(cur, ofs[:cn])
+		for w, id := range r.ids {
+			members[cur[id]] = int32(w)
+			cur[id]++
+		}
+		if cap(seen) < int(n) {
+			seen = make([]int32, n)
+			epoch = 0
+		}
+		st := seen[:n]
+		if cap(sig) < cn {
+			sig = make([]int32, cn)
+		}
+		sg := sig[:cn]
+		clear(setIDs)
+		next := int32(0)
+		for c := 0; c < cn; c++ {
+			epoch++
+			gather = gather[:0]
+			for k := ofs[c]; k < ofs[c+1]; k++ {
+				b := block[members[k]]
+				if st[b] != epoch {
+					st[b] = epoch
+					gather = append(gather, b)
 				}
-				classBlocks[a][id] = b.String()
 			}
-		}
-		for w := 0; w < m.numWorlds; w++ {
-			var b strings.Builder
-			fmt.Fprintf(&b, "%d|", block[w])
-			for a := 0; a < m.numAgents; a++ {
-				b.WriteString(classBlocks[a][int(partIDs(a)[w])])
-				b.WriteByte('|')
+			sort.Slice(gather, func(i, j int) bool { return gather[i] < gather[j] })
+			acc := int32(-1)
+			for _, b := range gather {
+				k := uint64(uint32(acc+1))<<32 | uint64(uint32(b))
+				id, ok := setIDs[k]
+				if !ok {
+					id = next
+					next++
+					setIDs[k] = id
+				}
+				acc = id
 			}
-			key := b.String()
-			id, ok := sig[key]
-			if !ok {
-				id = len(sig)
-				sig[key] = id
+			sg[c] = acc
+		}
+		return sg
+	}
+
+	// Refine until a full round over all agents splits nothing. Refinement
+	// only ever splits, so a round that leaves the block count unchanged is
+	// the fixed point.
+	pair := make(map[uint64]int32)
+	for {
+		before := n
+		for a := 0; a < m.numAgents; a++ {
+			if rels[a].ids == nil {
+				continue
 			}
-			next[w] = id
+			sg := classSigs(rels[a])
+			clear(pair)
+			next := int32(0)
+			for w := 0; w < W; w++ {
+				k := uint64(uint32(block[w]))<<32 | uint64(uint32(sg[rels[a].ids[w]]))
+				id, ok := pair[k]
+				if !ok {
+					id = next
+					next++
+					pair[k] = id
+				}
+				block[w] = id
+			}
+			n = next
 		}
-		same := true
-		// Compare partitions up to renaming: refinement only splits, so
-		// equal block counts mean stability.
-		oldCount := countBlocks(block)
-		newCount := countBlocks(next)
-		if newCount != oldCount {
-			same = false
-		}
-		block = next
-		if same {
+		if n == before {
 			break
 		}
 	}
 
-	// Build the quotient.
-	nBlocks := countBlocks(block)
-	q := NewModel(nBlocks, m.numAgents)
-	rep := make([]int, nBlocks)
+	// Build the quotient. rep[b] is the smallest world of block b (blocks
+	// are numbered by first occurrence, so a forward scan fills it).
+	nB := int(n)
+	rep := make([]int32, nB)
 	for i := range rep {
 		rep[i] = -1
 	}
-	for w := 0; w < m.numWorlds; w++ {
-		if rep[block[w]] == -1 {
-			rep[block[w]] = w
+	for w := 0; w < W; w++ {
+		if rep[block[w]] < 0 {
+			rep[block[w]] = int32(w)
 		}
 	}
+	q := NewModel(nB, m.numAgents)
 	for prop, set := range m.valuation {
-		for b := 0; b < nBlocks; b++ {
-			if set.Contains(rep[b]) {
-				q.SetTrue(b, prop)
+		col := bitset.New(nB)
+		for b := 0; b < nB; b++ {
+			if set.Contains(int(rep[b])) {
+				col.Add(b)
 			}
 		}
+		q.setFactSet(prop, col)
 	}
+	// Quotient relations: in the stable partition, all members of a block
+	// see the same set of blocks through an agent's classes, and any two
+	// classes sharing a block have equal block sets — so "same block-set
+	// id at the representative's class" is exactly the quotient partition,
+	// installed as dense ids with no union-find.
 	for a := 0; a < m.numAgents; a++ {
-		// Blocks are a-indistinguishable iff some members are.
-		first := make(map[int]int) // class id -> block
-		for w := 0; w < m.numWorlds; w++ {
-			id := int(partIDs(a)[w])
-			if prev, ok := first[id]; ok {
-				q.Indistinguishable(a, prev, block[w])
-			} else {
-				first[id] = block[w]
+		if rels[a].ids == nil {
+			continue // discrete stays discrete
+		}
+		sg := classSigs(rels[a])
+		// Sig ids (including the prefix ids of the pair folds) are bounded
+		// by the total block-list length, hence by W.
+		if cap(mark) < W {
+			mark = make([]int32, W)
+		}
+		mk := mark[:W]
+		for i := range mk {
+			mk[i] = -1
+		}
+		qids := make([]int32, nB)
+		next := int32(0)
+		for b := 0; b < nB; b++ {
+			s := sg[rels[a].ids[rep[b]]]
+			if mk[s] < 0 {
+				mk[s] = next
+				next++
 			}
+			qids[b] = mk[s]
 		}
+		q.setPartition(a, qids, int(next))
 	}
-	for b := 0; b < nBlocks; b++ {
-		q.SetName(b, fmt.Sprintf("b%d<%s>", b, m.Name(rep[b])))
+	for b := 0; b < nB; b++ {
+		q.SetName(b, fmt.Sprintf("b%d<%s>", b, m.Name(int(rep[b]))))
 	}
-	return q, block
-}
-
-func countBlocks(block []int) int {
-	max := -1
-	for _, b := range block {
-		if b > max {
-			max = b
-		}
+	for w := 0; w < W; w++ {
+		outBlock[w] = int(block[w])
 	}
-	return max + 1
+	return q, outBlock
 }

@@ -112,6 +112,59 @@ func TestQuickMinimizeIdempotent(t *testing.T) {
 	}
 }
 
+// TestQuickMinimizeBlockContract pins the documented block-map contract:
+// one entry per world, values dense in [0, quotient worlds) with no
+// sentinel, ids assigned in first-occurrence order (each new id exceeds the
+// running maximum by exactly one, starting at 0), and block b's
+// representative — the world the quotient's facts and names come from — is
+// its smallest member.
+func TestQuickMinimizeBlockContract(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, 1+rng.Intn(30), 1+rng.Intn(3))
+		q, block := m.Minimize()
+		if len(block) != m.NumWorlds() {
+			t.Errorf("seed %d: block map has %d entries for %d worlds", seed, len(block), m.NumWorlds())
+			return false
+		}
+		maxSeen := -1
+		firstOf := make(map[int]int)
+		for w, b := range block {
+			if b < 0 || b >= q.NumWorlds() {
+				t.Errorf("seed %d: block[%d] = %d outside [0,%d)", seed, w, b, q.NumWorlds())
+				return false
+			}
+			if b > maxSeen+1 {
+				t.Errorf("seed %d: block id %d at world %d skips ahead of max %d", seed, b, w, maxSeen)
+				return false
+			}
+			if b > maxSeen {
+				maxSeen = b
+			}
+			if _, ok := firstOf[b]; !ok {
+				firstOf[b] = w
+			}
+		}
+		if maxSeen != q.NumWorlds()-1 {
+			t.Errorf("seed %d: ids reach %d but quotient has %d worlds", seed, maxSeen, q.NumWorlds())
+			return false
+		}
+		// The representative's facts must be the block's facts.
+		for b := 0; b < q.NumWorlds(); b++ {
+			for _, prop := range m.Facts() {
+				if q.FactSet(prop).Contains(b) != m.FactSet(prop).Contains(firstOf[b]) {
+					t.Errorf("seed %d: block %d fact %s differs from its representative", seed, b, prop)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkMinimize(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	m := randomModel(rng, 512, 3)

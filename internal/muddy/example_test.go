@@ -1,0 +1,43 @@
+package muddy_test
+
+import (
+	"fmt"
+
+	"repro/internal/muddy"
+)
+
+// ExamplePuzzle_Round plays the Section 2 puzzle round by round: four
+// children, two muddy. After the father's announcement each round asks
+// every child simultaneously "can you prove whether you are muddy?" and
+// publicly announces the answer vector; with k = 2 muddy children, the
+// muddy ones prove their state in round k exactly as Theorem 1 predicts.
+func ExamplePuzzle_Round() {
+	p, err := muddy.New(4, []int{1, 3})
+	if err != nil {
+		panic(err)
+	}
+	if err := p.FatherAnnounces(); err != nil {
+		panic(err)
+	}
+	for round := 1; ; round++ {
+		res, err := p.Round()
+		if err != nil {
+			panic(err)
+		}
+		var yes []int
+		for child, y := range res.Yes {
+			if y {
+				yes = append(yes, child)
+			}
+		}
+		if len(yes) == 0 {
+			fmt.Printf("round %d: every child answers no\n", round)
+			continue
+		}
+		fmt.Printf("round %d: children %v answer yes\n", round, yes)
+		break
+	}
+	// Output:
+	// round 1: every child answers no
+	// round 2: children [1 3] answer yes
+}

@@ -61,6 +61,18 @@ func (s *System) Model(view ViewFunc, interp Interpretation) *PointModel {
 	return pm
 }
 
+// EpistemicQuotient returns a quotient-before-eval view of the point model
+// for formula batches free of the run-based operators: the batch evaluates
+// on the bisimulation quotient when that shrinks the model (silent run
+// tails and permuted histories collapse), with verdicts mapped back to the
+// original points. minWorlds <= 0 applies the kripke default threshold.
+// Temporal operators error out on the view — minimization does not
+// preserve run/time structure — so batches using them must stay on the
+// PointModel itself.
+func (pm *PointModel) EpistemicQuotient(minWorlds int) *kripke.Quotiented {
+	return pm.Model.QuotientForEvalEpistemic(minWorlds)
+}
+
 // World returns the world index of the point (run ri, time t).
 func (pm *PointModel) World(ri int, t Time) int {
 	return ri*(int(pm.Sys.Horizon)+1) + int(t)

@@ -1,0 +1,104 @@
+package repro_test
+
+// Regression: quotient-before-eval must return identical verdicts on the
+// models of the existing experiments. Each system an experiment driver
+// evaluates — the R2-D2 delivery chain, the commit window, the coordinated
+// attack, the muddy children — is checked formula by formula, world by
+// world, against direct evaluation.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+	"repro/internal/muddy"
+	"repro/internal/protocol"
+	"repro/internal/runs"
+)
+
+// epistemicBatch builds the formula batch over a system's characteristic
+// ground fact: every knowledge operator, a modal tower, and the ν form of
+// common knowledge.
+func epistemicBatch(prop string) []logic.Formula {
+	p := logic.P(prop)
+	return []logic.Formula{
+		p,
+		logic.Neg(p),
+		logic.K(0, p),
+		logic.K(1, logic.Neg(logic.K(0, p))),
+		logic.S(nil, p),
+		logic.E(nil, p),
+		logic.D(nil, p),
+		logic.C(nil, p),
+		logic.EK(nil, 3, p),
+		logic.GFP("X", logic.E(nil, logic.Conj(p, logic.X("X")))),
+	}
+}
+
+func checkQuotientAgrees(t *testing.T, name string, m *repro.Model, q *kripke.Quotiented, batch []logic.Formula) {
+	t.Helper()
+	for _, phi := range batch {
+		direct, err := m.Eval(phi)
+		if err != nil {
+			t.Fatalf("%s: direct eval of %s: %v", name, phi, err)
+		}
+		via, err := q.Eval(phi)
+		if err != nil {
+			t.Fatalf("%s: quotient eval of %s: %v", name, phi, err)
+		}
+		if !direct.Equal(via) {
+			t.Errorf("%s: quotient-before-eval changed the verdict of %s", name, phi)
+		}
+	}
+}
+
+func TestQuotientBeforeEvalMatchesExperiments(t *testing.T) {
+	// E7/ablation system: the R2-D2 message chain of Section 8.
+	sys := core.R2D2Chain(6, 9)
+	pm := sys.Model(repro.CompleteHistoryView, repro.Interpretation{
+		"sent": repro.StablyTrue(repro.SentBy("m")),
+	})
+	q := pm.EpistemicQuotient(1)
+	if !q.Quotiented() {
+		t.Error("r2d2: point model did not shrink (silent tails should collapse)")
+	}
+	checkQuotientAgrees(t, "r2d2", pm.Model, q, epistemicBatch("sent"))
+
+	// E12/commit-window system of Section 13.
+	csys, interp, err := repro.CommitSystem(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpm := csys.Model(repro.CompleteHistoryView, interp)
+	var cprop string
+	for _, f := range cpm.Model.Facts() {
+		cprop = f
+		break
+	}
+	checkQuotientAgrees(t, "commit", cpm.Model, cpm.EpistemicQuotient(1), epistemicBatch(cprop))
+
+	// E4/E13 coordinated-attack system.
+	as, err := attack.Build(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := func(protocol.LocalView) bool { return false }
+	apm := as.Sys.Model(runs.CompleteHistoryView, as.Interp(never, never))
+	checkQuotientAgrees(t, "attack", apm.Model, apm.EpistemicQuotient(1), epistemicBatch(attack.IntentProp))
+
+	// E1 muddy children (a plain Kripke model, no temporal hook). Its
+	// quotient is the identity — all fact vectors differ — so this pins the
+	// fallback path on a real driver model.
+	pz, err := muddy.New(6, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq := pz.Model().QuotientForEval(1)
+	if mq.Quotiented() {
+		t.Error("muddy: model quotiented although every world has a distinct fact vector")
+	}
+	checkQuotientAgrees(t, "muddy", pz.Model(), mq, epistemicBatch(muddy.MuddyProp(0)))
+}

@@ -4,6 +4,7 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh --compare [previous.json]
+#        scripts/bench.sh --readme
 #
 # Plain mode writes a report with a "current" section holding this run's
 # numbers and, when a BENCH_BASELINE.json snapshot exists at the repo root
@@ -16,7 +17,12 @@
 # given snapshot (default: the BENCH_<N>.json with the highest N) and
 # exits non-zero if any ablation benchmark (BenchmarkAblation*) regresses
 # by more than 25% in ns/op — the perf gate wired into CI as a
-# non-blocking job step.
+# non-blocking job step. On success it also refreshes the README
+# benchmark-trajectory table from the committed snapshots.
+#
+# Readme mode only regenerates the README table (between the
+# "bench-table" markers) from BENCH_BASELINE.json and every committed
+# BENCH_<N>.json, without running anything.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,10 +30,17 @@ cd "$(dirname "$0")/.."
 REGRESSION_PCT=25
 
 compare=0
-if [[ "${1:-}" == "--compare" ]]; then
+readme_only=0
+case "${1:-}" in
+--compare)
     compare=1
     shift
-fi
+    ;;
+--readme)
+    readme_only=1
+    shift
+    ;;
+esac
 
 # extract_current FILE — print "name ns_op" pairs from the "current"
 # section of one of our reports (or from the whole file if it has no
@@ -45,6 +58,87 @@ extract_current() {
     /"baseline":/ { saw_section = 1 }
     ' "$1"
 }
+
+# readme_table rewrites the trajectory table between the bench-table
+# markers of README.md: one row per ablation benchmark (plus the full
+# experiment suite), one column per committed snapshot, and the overall
+# seed→latest speedup.
+readme_table() {
+    local readme="README.md"
+    [[ -f "$readme" ]] || return 0
+    grep -q '<!-- bench-table:start -->' "$readme" || return 0
+    local snaps=()
+    [[ -f BENCH_BASELINE.json ]] && snaps+=(BENCH_BASELINE.json)
+    local n=1
+    while [[ -e "BENCH_${n}.json" ]]; do
+        snaps+=("BENCH_${n}.json")
+        n=$((n + 1))
+    done
+    [[ "${#snaps[@]}" != 0 ]] || return 0
+
+    local table
+    table="$(
+        for s in "${snaps[@]}"; do
+            extract_current "$s" | awk -v src="$s" '{ print src, $1, $2 }'
+        done | awk -v files="${snaps[*]}" '
+        function fmt(ns) {
+            if (ns == "") return "—"
+            if (ns + 0 >= 1e9) return sprintf("%.2f s", ns / 1e9)
+            if (ns + 0 >= 1e6) return sprintf("%.1f ms", ns / 1e6)
+            if (ns + 0 >= 1e3) return sprintf("%.1f µs", ns / 1e3)
+            return sprintf("%.0f ns", ns + 0)
+        }
+        BEGIN { nf = split(files, fname, " ") }
+        {
+            name = $2
+            if (name !~ /^BenchmarkAblation/ && name != "BenchmarkAllExperiments") next
+            if (!(name in seen)) { seen[name] = ++rows; order[rows] = name }
+            val[name, $1] = $3
+        }
+        END {
+            printf "| benchmark (ns/op, min of runs) |"
+            for (i = 1; i <= nf; i++) {
+                label = fname[i]
+                sub(/^BENCH_/, "", label); sub(/\.json$/, "", label)
+                if (label == "BASELINE") label = "seed"; else label = "PR " label
+                printf " %s |", label
+            }
+            printf " speedup |\n|---|"
+            for (i = 1; i <= nf; i++) printf "---|"
+            printf "---|\n"
+            for (r = 1; r <= rows; r++) {
+                name = order[r]
+                short = name
+                sub(/^BenchmarkAblation/, "", short)
+                sub(/^Benchmark/, "", short)
+                printf "| %s |", short
+                for (i = 1; i <= nf; i++) printf " %s |", fmt(val[name, fname[i]])
+                first = val[name, fname[1]]
+                last = ""
+                for (i = nf; i >= 1; i--)
+                    if (val[name, fname[i]] != "") { last = val[name, fname[i]]; break }
+                if (first != "" && last != "" && last + 0 > 0)
+                    printf " %.1f× |\n", first / last
+                else
+                    printf " — |\n"
+            }
+        }'
+    )"
+    local tmp
+    tmp="$(mktemp)"
+    awk -v table="$table" '
+        /<!-- bench-table:start -->/ { print; print table; skip = 1; next }
+        /<!-- bench-table:end -->/ { skip = 0 }
+        !skip { print }
+    ' "$readme" > "$tmp"
+    mv "$tmp" "$readme"
+    echo "refreshed benchmark table in $readme (${#snaps[@]} snapshots)"
+}
+
+if [[ "$readme_only" == 1 ]]; then
+    readme_table
+    exit 0
+fi
 
 # Each benchmark runs BENCH_COUNT times and the report keeps the fastest
 # iteration — the noise-robust estimator on shared machines, where load
@@ -142,6 +236,7 @@ if [[ "$compare" == 1 ]]; then
         exit 1
     fi
     echo "no ablation regressions"
+    readme_table
     exit 0
 fi
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# checkdocs.sh — the docs gate wired into CI: every package (the root
+# package and every internal/*) must carry a proper "Package <name> ..."
+# comment, and the top-level docs must exist. Run it locally before
+# sending a PR; CI runs it verbatim.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+has_pkg_comment() { # has_pkg_comment PKGNAME FILE...
+    local pkg="$1"
+    shift
+    local f
+    for f in "$@"; do
+        [[ "$f" == *_test.go ]] && continue
+        if grep -q "^// Package $pkg " "$f"; then
+            return 0
+        fi
+    done
+    return 1
+}
+
+if ! has_pkg_comment repro ./*.go; then
+    echo "missing package comment: repro (root)"
+    fail=1
+fi
+
+for dir in internal/*/; do
+    pkg="$(basename "$dir")"
+    if ! has_pkg_comment "$pkg" "$dir"*.go; then
+        echo "missing package comment: $pkg"
+        fail=1
+    fi
+done
+
+for doc in README.md ARCHITECTURE.md; do
+    if [[ ! -f "$doc" ]]; then
+        echo "missing $doc"
+        fail=1
+    fi
+done
+
+if [[ "$fail" != 0 ]]; then
+    echo "checkdocs.sh: documentation gate failed" >&2
+    exit 1
+fi
+echo "docs ok: package comments present, README.md and ARCHITECTURE.md exist"
