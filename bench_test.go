@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/kripke"
 	"repro/internal/logic"
@@ -184,6 +185,87 @@ func BenchmarkAblationMuddyScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// redundantChain builds a model whose bisimulation quotient is a chain of
+// `blocks` worlds (fact p marks one end; two agents alternate in pairing
+// adjacent blocks into classes), with every block blown up to `copies`
+// bisimilar copies. It is the worst case for from-scratch minimization —
+// the refinement has to walk the whole chain, one block per round, over
+// all blocks*copies worlds — and the best case for the seeded re-refinement,
+// which re-confirms the renamed old blocks in one round.
+func redundantChain(blocks, copies int) *kripke.Model {
+	w := blocks * copies
+	b := kripke.NewBuilder(w, 2)
+	col := b.Column("p")
+	for i := 0; i < copies; i++ {
+		col.Add(i)
+	}
+	ids0 := make([]int32, w)
+	ids1 := make([]int32, w)
+	for i := 0; i < w; i++ {
+		blk := i / copies
+		ids0[i] = int32(blk / 2)
+		ids1[i] = int32((blk + 1) / 2)
+	}
+	b.SetPartition(0, ids0, (blocks+1)/2)
+	b.SetPartition(1, ids1, blocks/2+1)
+	return b.Build()
+}
+
+// Ablation: a chained sequence of announcements, re-minimizing after every
+// restriction — the announcement-chain hot path. The incremental arm
+// threads the block map through RestrictWithQuotient so each Minimize is a
+// seeded re-refinement; the from-scratch arm restricts with zero
+// inheritance and refines from the trivial partition every round.
+func BenchmarkAblationChainedRestrict(b *testing.B) {
+	const blocks, copies, steps = 48, 96, 32
+	run := func(b *testing.B, incremental bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := redundantChain(blocks, copies)
+			q, blk := m.Minimize()
+			for s := 0; s < steps; s++ {
+				// Announce away the far end of the chain.
+				keep := bitset.NewFull(m.NumWorlds())
+				keep.RemoveRange(m.NumWorlds()-copies, m.NumWorlds())
+				if incremental {
+					m = m.RestrictWithQuotient(keep, blk)
+				} else {
+					m = m.RestrictOpts(keep, kripke.RestrictOptions{})
+				}
+				q, blk = m.Minimize()
+			}
+			if q.NumWorlds() != blocks-steps {
+				b.Fatalf("chain ended with a %d-world quotient, want %d", q.NumWorlds(), blocks-steps)
+			}
+		}
+	}
+	b.Run("incremental", func(b *testing.B) { run(b, true) })
+	b.Run("fromscratch", func(b *testing.B) { run(b, false) })
+}
+
+// Ablation: the muddy round loop with a per-round common-knowledge check,
+// under the incremental announcement path (joint views and reachability
+// seeds threaded through every Restrict) versus the from-scratch baseline.
+func BenchmarkAblationMuddyRoundsQuotient(b *testing.B) {
+	for _, n := range []int{10, 13} {
+		for _, mode := range []struct {
+			name string
+			inc  bool
+		}{{"incremental", true}, {"fromscratch", false}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				opts := muddy.SimOptions{Incremental: mode.inc, TrackCommon: true}
+				muddySet := []int{0, 1, 2}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := muddy.SimulateOpts(n, muddySet, muddy.PublicAnnouncement, 5, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -9,7 +9,10 @@
 // (a 262144-world model); each round reports how long the children's
 // knowledge checks took (eval) versus applying the resulting public
 // announcement (build), making the construction/evaluation split of the
-// model checker visible from the command line.
+// model checker visible from the command line. -incremental=false forces
+// every round's restriction onto the from-scratch path (the ablation
+// baseline for the incremental announcement chain); -common checks common
+// knowledge of m after every round.
 package main
 
 import (
@@ -40,6 +43,9 @@ func run(args []string) error {
 	rounds := fs.Int("rounds", 0, "round budget (default n+2)")
 	timing := fs.Bool("time", true, "print per-round build vs eval timing")
 	quotient := fs.Bool("quotient", false, "report the bisimulation quotient of the initial model")
+	incremental := fs.Bool("incremental", true,
+		"thread derived state (joint views, reachability seeds) through each round's announcement; false forces the from-scratch ablation path")
+	trackCommon := fs.Bool("common", false, "check common knowledge of m after every round")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,9 +100,13 @@ func run(args []string) error {
 				qv.NumWorlds())
 		}
 	}
-	res, err := muddy.Simulate(*n, muddySet, m, budget)
+	res, err := muddy.SimulateOpts(*n, muddySet, m, budget,
+		muddy.SimOptions{Incremental: *incremental, TrackCommon: *trackCommon})
 	if err != nil {
 		return err
+	}
+	if !*incremental {
+		fmt.Println("announcements: from-scratch restriction (ablation path)")
 	}
 	if *timing {
 		fmt.Printf("model build (2^%d worlds + announcement): %v\n", *n, res.BuildTime)
@@ -109,8 +119,11 @@ func run(args []string) error {
 			}
 		}
 		suffix := ""
+		if *trackCommon && i < len(res.CommonM) {
+			suffix = fmt.Sprintf("   [C m: %v]", res.CommonM[i])
+		}
 		if *timing {
-			suffix = fmt.Sprintf("   [eval %v, build %v]", r.EvalTime, r.BuildTime)
+			suffix += fmt.Sprintf("   [eval %v, build %v]", r.EvalTime, r.BuildTime)
 		}
 		if len(yes) == 0 {
 			fmt.Printf("round %d: all children answer \"no\"%s\n", i+1, suffix)

@@ -22,6 +22,7 @@ package attack
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/logic"
 	"repro/internal/protocol"
@@ -277,6 +278,130 @@ func (s *System) Interp(ruleA, ruleB DecisionRule) runs.Interpretation {
 			return at[0] != runs.Lost && at[1] != runs.Lost && t >= at[0] && t >= at[1]
 		},
 	}
+}
+
+// DeliveredProp returns the ground-fact name for "at least d messages have
+// been delivered".
+func DeliveredProp(d int) string { return "del" + strconv.Itoa(d) }
+
+// DeliveryInterp extends Interp with the delivery-count facts
+// DeliveredProp(1..Budget): "del d" holds at a point (r, t) iff at least d
+// messages of the handshake have been delivered by time t. The counts are
+// read in O(1) off the precomputed view timelines (a delivery is a receive
+// event of one of the generals), not by rescanning the message list per
+// point. Point models built with this interpretation support the
+// delivery-chain replay of ReplayDeliveryChain.
+func (s *System) DeliveryInterp(ruleA, ruleB DecisionRule) runs.Interpretation {
+	interp := s.Interp(ruleA, ruleB)
+	tl := s.timelines()
+	idx := make(map[*runs.Run]int, len(s.Sys.Runs))
+	for ri, r := range s.Sys.Runs {
+		idx[r] = ri
+	}
+	for d := 1; d <= s.Budget; d++ {
+		d := d
+		interp[DeliveredProp(d)] = func(r *runs.Run, t runs.Time) bool {
+			pair := tl[idx[r]]
+			return pair[GeneralA].ReceivedBefore(t+1)+pair[GeneralB].ReceivedBefore(t+1) >= d
+		}
+	}
+	return interp
+}
+
+// BestChainRun returns the name of the initiated run with the most
+// delivered messages — the all-delivered handshake, the natural marked
+// point of a delivery announcement chain.
+func (s *System) BestChainRun() string {
+	best, bestD := "", -1
+	for _, r := range s.Sys.Runs {
+		if r.Init[GeneralA] != "go" {
+			continue
+		}
+		d := 0
+		for _, m := range r.Messages {
+			if m.Delivered() {
+				d++
+			}
+		}
+		if d > bestD {
+			best, bestD = r.Name, d
+		}
+	}
+	return best
+}
+
+// ChainStep records one link of the delivery announcement chain.
+type ChainStep struct {
+	// Deliveries is the lower bound just announced ("at least d messages
+	// were delivered").
+	Deliveries int
+	// Points and QuotientWorlds are the surviving point count and the size
+	// of the model the link's queries actually evaluated on.
+	Points         int
+	QuotientWorlds int
+	// Depth is the alternating-knowledge depth of the attack intent at the
+	// marked point after the announcement (K_B intent, K_A K_B intent, …).
+	Depth int
+	// Common reports whether C{A,B} intent holds at the marked point.
+	Common bool
+}
+
+// ReplayDeliveryChain replays the coordinated-attack message chain of
+// Sections 4 and 7 as a public-announcement chain on a point model built
+// with DeliveryInterp: link d announces DeliveredProp(d), mirroring the
+// generals' handshake one delivered message at a time, and records the
+// alternating-knowledge depth of the intent and whether it has become
+// common knowledge at the marked point (runName at the horizon). The chain
+// stops before the first announcement that would be untruthful there.
+// incremental selects the seeded restriction path of runs.Chain; the
+// verdicts are identical either way (pinned by the package tests), only
+// the per-link cost differs.
+func (s *System) ReplayDeliveryChain(pm *runs.PointModel, runName string, incremental bool) ([]ChainStep, error) {
+	w, err := pm.WorldOf(runName, s.Sys.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	ch := pm.Chain(1, incremental)
+	ch.Mark(w)
+	g := logic.NewGroup(GeneralA, GeneralB)
+	var steps []ChainStep
+	for d := 1; d <= s.Budget; d++ {
+		del := logic.P(DeliveredProp(d))
+		truthful, err := ch.Holds(del)
+		if err != nil {
+			return nil, err
+		}
+		if !truthful {
+			break
+		}
+		if err := ch.Announce(del); err != nil {
+			return nil, err
+		}
+		step := ChainStep{Deliveries: d, Points: ch.NumWorlds(), QuotientWorlds: ch.QuotientWorlds()}
+		f := logic.P(IntentProp)
+		for lvl := 1; lvl <= s.Budget+1; lvl++ {
+			if lvl%2 == 1 {
+				f = logic.K(GeneralB, f)
+			} else {
+				f = logic.K(GeneralA, f)
+			}
+			ok, err := ch.Holds(f)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			step.Depth = lvl
+		}
+		common, err := ch.Holds(logic.C(g, logic.P(IntentProp)))
+		if err != nil {
+			return nil, err
+		}
+		step.Common = common
+		steps = append(steps, step)
+	}
+	return steps, nil
 }
 
 // ReliableSystem builds the guaranteed-communication variant: the same

@@ -68,6 +68,32 @@ func (s *Set) Remove(i int) {
 	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
 }
 
+// RemoveRange deletes every element in the half-open interval [lo, hi)
+// from the set, whole words at a time. Out-of-range portions are ignored.
+func (s *Set) RemoveRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+	if lw == hw {
+		s.words[lw] &^= loMask & hiMask
+		return
+	}
+	s.words[lw] &^= loMask
+	for wi := lw + 1; wi < hw; wi++ {
+		s.words[wi] = 0
+	}
+	s.words[hw] &^= hiMask
+}
+
 // Fill adds every element of the universe to the set.
 func (s *Set) Fill() {
 	for i := range s.words {

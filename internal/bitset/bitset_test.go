@@ -340,3 +340,37 @@ func BenchmarkCount(b *testing.B) {
 		_ = x.Count()
 	}
 }
+
+// TestRemoveRange checks the word-level range removal against a per-bit
+// reference across word boundaries: unaligned ends, single-word spans,
+// word-aligned ends (hi%64 == 0), whole-universe spans, empty and
+// out-of-range intervals.
+func TestRemoveRange(t *testing.T) {
+	cases := []struct{ n, lo, hi int }{
+		{10, 2, 7},     // single word, interior
+		{64, 0, 64},    // exactly one full word
+		{70, 60, 66},   // straddles a word boundary
+		{200, 3, 64},   // hi on a word boundary
+		{200, 64, 130}, // lo on a word boundary
+		{200, 0, 200},  // whole universe
+		{200, 150, 150},
+		{200, 150, 140}, // empty (lo >= hi)
+		{200, -5, 10},   // clamped low
+		{200, 190, 300}, // clamped high
+		{130, 1, 129},   // spans three words, both ends unaligned
+	}
+	for _, tc := range cases {
+		got := NewFull(tc.n)
+		got.RemoveRange(tc.lo, tc.hi)
+		want := NewFull(tc.n)
+		for i := tc.lo; i < tc.hi; i++ {
+			want.Remove(i)
+		}
+		if !got.Equal(want) {
+			t.Errorf("RemoveRange(n=%d, %d, %d) = %s, want %s", tc.n, tc.lo, tc.hi, got, want)
+		}
+		if got.Count() != want.Count() {
+			t.Errorf("RemoveRange(n=%d, %d, %d): count %d, want %d", tc.n, tc.lo, tc.hi, got.Count(), want.Count())
+		}
+	}
+}

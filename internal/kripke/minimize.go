@@ -22,6 +22,12 @@ import (
 // uint64-keyed pair maps — the same columnar machinery the Builder and
 // Restrict use — not string signatures.
 //
+// On a model produced by RestrictWithQuotient, Minimize re-refines
+// incrementally from the renamed pre-announcement blocks instead of the
+// trivial partition (see minimizeSeeded); the result — including the block
+// numbering — is identical to the from-scratch computation, so callers
+// never need to distinguish the two paths.
+//
 // # The block-map contract
 //
 // The returned slice ("block map") has exactly NumWorlds entries; entry w
@@ -38,180 +44,284 @@ import (
 // hook is not carried over; minimize only models whose formulas are free
 // of the run-based operators.
 func (m *Model) Minimize() (*Model, []int) {
-	W := m.numWorlds
-	outBlock := make([]int, W)
-	if W == 0 {
-		return NewModel(0, m.numAgents), outBlock
+	if s := m.quotSeed; s != nil {
+		return m.minimizeSeeded(s.ids, s.n)
 	}
+	return m.minimizeScratch()
+}
 
-	// block[w] is w's current block id; ids are dense in [0, n) and always
-	// assigned in first-occurrence order, which is what makes the final
-	// map satisfy the contract above without a renumbering pass.
-	block := make([]int32, W)
-	n := int32(1)
+// minimizeScratch is Minimize starting from the trivial partition: one
+// block, split by every fact column, then refined to stability.
+func (m *Model) minimizeScratch() (*Model, []int) {
+	if m.numWorlds == 0 {
+		return NewModel(0, m.numAgents), []int{}
+	}
+	r := m.newRefiner(nil, 0)
+	r.splitByFacts()
+	r.refine()
+	return r.quotient()
+}
 
-	var mark []int32
-	// splitByBit refines the blocks by membership in col: (block, bit)
-	// pairs are renumbered densely through the mark table.
-	splitByBit := func(col *bitset.Set) {
-		need := 2 * int(n)
-		if cap(mark) < need {
-			mark = make([]int32, need)
-		}
-		mk := mark[:need]
+// minimizeSeeded is Minimize re-refining from a seed partition — in the
+// announcement-chain use, the pre-announcement block map renamed over the
+// kept worlds by RestrictWithQuotient. The seed is first split by the fact
+// columns (a no-op for true renamed block maps, which are fact-uniform,
+// but it keeps arbitrary seeds sound) and then refined to stability, which
+// yields the coarsest *stable refinement of the seed* — a bisimulation,
+// but possibly finer than the true coarsest one: a restriction usually
+// only splits blocks, yet it can also merge worlds that were previously
+// distinguished only through removed worlds. To stay exact, the
+// intermediate quotient — already small — is minimized once from scratch,
+// and the two block maps are composed. That second pass is a full
+// refinement of the quotient, so it costs O(blocks²) worst case (e.g. a
+// chain-shaped quotient) — bounded by the quotient size, never the world
+// count, which is what makes the seeded path pay on redundant models
+// (see ROADMAP for the touched-block refinement that could shrink it
+// further). When something did merge, the composed partition is rebuilt
+// into a quotient of m directly, so names, representatives and numbering
+// follow the Minimize contract either way.
+func (m *Model) minimizeSeeded(seed []int32, nSeed int) (*Model, []int) {
+	if m.numWorlds == 0 {
+		return NewModel(0, m.numAgents), []int{}
+	}
+	r := m.newRefiner(seed, int32(nSeed))
+	r.splitByFacts()
+	r.refine()
+	q1, b1 := r.quotient()
+	q2, b2 := q1.minimizeScratch()
+	if q2.numWorlds == q1.numWorlds {
+		return q1, b1
+	}
+	comp := make([]int32, m.numWorlds)
+	for w := range comp {
+		comp[w] = int32(b2[b1[w]])
+	}
+	// comp is the coarsest bisimulation of m (stable by construction), and
+	// composing two first-occurrence-dense maps is first-occurrence dense,
+	// so the quotient tail applies directly with no further refinement.
+	r2 := m.newRefiner(comp, int32(q2.numWorlds))
+	return r2.quotient()
+}
+
+// refiner is one partition-refinement run over a model: the current block
+// ids, the resolved agent relations, and every piece of reusable scratch
+// the split and signature passes need. Minimize (from scratch or seeded)
+// builds one, refines to stability, and materializes the quotient.
+type refiner struct {
+	m     *Model
+	W     int
+	block []int32 // block[w] is w's current block id, dense, first-occurrence order
+	n     int32   // number of blocks
+
+	rels []minRel
+
+	mark    []int32
+	members []int32
+	cursor  []int32
+	off     []int32
+	seen    []int32
+	epoch   int32
+	gather  []int32
+	sig     []int32
+	setIDs  map[uint64]int32
+	pair    map[uint64]int32
+}
+
+// minRel is one agent's class ids resolved once per refinement run. A nil
+// ids slice is the discrete relation, which never splits anything: the
+// blockset of a singleton class is the world's own block, already part of
+// the signature.
+type minRel struct {
+	ids []int32
+	n   int
+}
+
+// newRefiner prepares a refinement run starting from the given seed
+// partition (renumbered to dense first-occurrence ids; seed ids must lie
+// in [0, nSeed)). A nil seed starts from the trivial one-block partition.
+func (m *Model) newRefiner(seed []int32, nSeed int32) *refiner {
+	W := m.numWorlds
+	r := &refiner{
+		m:       m,
+		W:       W,
+		block:   make([]int32, W),
+		members: make([]int32, W),
+		cursor:  make([]int32, W),
+		setIDs:  make(map[uint64]int32),
+		pair:    make(map[uint64]int32),
+	}
+	if seed == nil {
+		r.n = 1
+	} else {
+		mk := make([]int32, nSeed)
 		for i := range mk {
 			mk[i] = -1
 		}
 		next := int32(0)
-		for w := 0; w < W; w++ {
-			k := 2 * block[w]
-			if col.Contains(w) {
-				k++
-			}
-			if mk[k] < 0 {
-				mk[k] = next
+		for w, id := range seed {
+			if mk[id] < 0 {
+				mk[id] = next
 				next++
 			}
-			block[w] = mk[k]
+			r.block[w] = mk[id]
 		}
-		n = next
+		r.n = next
 	}
-
-	// Initial partition: by fact signature, one column at a time (sorted
-	// fact order keeps the numbering deterministic).
-	for _, prop := range m.Facts() {
-		splitByBit(m.valuation[prop])
-	}
-
-	// Resolve each agent's class ids once. A nil entry is the discrete
-	// relation, which never splits anything: the blockset of a singleton
-	// class is the world's own block, already part of the signature.
-	type rel struct {
-		ids []int32
-		n   int
-	}
-	rels := make([]rel, m.numAgents)
-	for a := range rels {
+	r.rels = make([]minRel, m.numAgents)
+	for a := range r.rels {
 		ids, cn := m.relIDs(a)
-		rels[a] = rel{ids, cn}
+		r.rels[a] = minRel{ids, cn}
 	}
+	return r
+}
 
-	// classSigs assigns every class of one agent an interned id of its set
-	// of current blocks (equal block sets ⇔ equal ids). Scratch: a counting
-	// sort of worlds by class, an epoch stamp to deduplicate blocks within
-	// a class, and a pair-fold interner for the sorted block lists — each
-	// sorted list folds left through a map[uint64]int32, which is injective
-	// on sequences, so no strings or hashes that could collide are
-	// involved. Sig ids are bounded by the total list length, hence < W.
-	members := make([]int32, W)
-	cursor := make([]int32, W)
-	var (
-		off    []int32
-		seen   []int32
-		epoch  int32
-		gather []int32
-		sig    []int32
-	)
-	setIDs := make(map[uint64]int32)
-	classSigs := func(r rel) []int32 {
-		cn := r.n
-		if cap(off) < cn+1 {
-			off = make([]int32, cn+1)
-		}
-		ofs := off[:cn+1]
-		for i := range ofs {
-			ofs[i] = 0
-		}
-		for _, id := range r.ids {
-			ofs[id+1]++
-		}
-		for c := 0; c < cn; c++ {
-			ofs[c+1] += ofs[c]
-		}
-		cur := cursor[:cn]
-		copy(cur, ofs[:cn])
-		for w, id := range r.ids {
-			members[cur[id]] = int32(w)
-			cur[id]++
-		}
-		if cap(seen) < int(n) {
-			seen = make([]int32, n)
-			epoch = 0
-		}
-		st := seen[:n]
-		if cap(sig) < cn {
-			sig = make([]int32, cn)
-		}
-		sg := sig[:cn]
-		clear(setIDs)
-		next := int32(0)
-		for c := 0; c < cn; c++ {
-			epoch++
-			gather = gather[:0]
-			for k := ofs[c]; k < ofs[c+1]; k++ {
-				b := block[members[k]]
-				if st[b] != epoch {
-					st[b] = epoch
-					gather = append(gather, b)
-				}
-			}
-			sort.Slice(gather, func(i, j int) bool { return gather[i] < gather[j] })
-			acc := int32(-1)
-			for _, b := range gather {
-				k := uint64(uint32(acc+1))<<32 | uint64(uint32(b))
-				id, ok := setIDs[k]
-				if !ok {
-					id = next
-					next++
-					setIDs[k] = id
-				}
-				acc = id
-			}
-			sg[c] = acc
-		}
-		return sg
+// splitByBit refines the blocks by membership in col: (block, bit) pairs
+// are renumbered densely through the mark table.
+func (r *refiner) splitByBit(col *bitset.Set) {
+	need := 2 * int(r.n)
+	if cap(r.mark) < need {
+		r.mark = make([]int32, need)
 	}
+	mk := r.mark[:need]
+	for i := range mk {
+		mk[i] = -1
+	}
+	next := int32(0)
+	for w := 0; w < r.W; w++ {
+		k := 2 * r.block[w]
+		if col.Contains(w) {
+			k++
+		}
+		if mk[k] < 0 {
+			mk[k] = next
+			next++
+		}
+		r.block[w] = mk[k]
+	}
+	r.n = next
+}
 
-	// Refine until a full round over all agents splits nothing. Refinement
-	// only ever splits, so a round that leaves the block count unchanged is
-	// the fixed point.
-	pair := make(map[uint64]int32)
+// splitByFacts refines by fact signature, one column at a time (sorted
+// fact order keeps the numbering deterministic).
+func (r *refiner) splitByFacts() {
+	for _, prop := range r.m.Facts() {
+		r.splitByBit(r.m.valuation[prop])
+	}
+}
+
+// classSigs assigns every class of one agent an interned id of its set of
+// current blocks (equal block sets ⇔ equal ids). Scratch: a counting sort
+// of worlds by class, an epoch stamp to deduplicate blocks within a class,
+// and a pair-fold interner for the sorted block lists — each sorted list
+// folds left through a map[uint64]int32, which is injective on sequences,
+// so no strings or hashes that could collide are involved. Sig ids are
+// bounded by the total list length, hence < W.
+func (r *refiner) classSigs(rel minRel) []int32 {
+	cn := rel.n
+	if cap(r.off) < cn+1 {
+		r.off = make([]int32, cn+1)
+	}
+	ofs := r.off[:cn+1]
+	for i := range ofs {
+		ofs[i] = 0
+	}
+	for _, id := range rel.ids {
+		ofs[id+1]++
+	}
+	for c := 0; c < cn; c++ {
+		ofs[c+1] += ofs[c]
+	}
+	cur := r.cursor[:cn]
+	copy(cur, ofs[:cn])
+	for w, id := range rel.ids {
+		r.members[cur[id]] = int32(w)
+		cur[id]++
+	}
+	if cap(r.seen) < int(r.n) {
+		r.seen = make([]int32, r.n)
+		r.epoch = 0
+	}
+	st := r.seen[:r.n]
+	if cap(r.sig) < cn {
+		r.sig = make([]int32, cn)
+	}
+	sg := r.sig[:cn]
+	clear(r.setIDs)
+	next := int32(0)
+	for c := 0; c < cn; c++ {
+		r.epoch++
+		r.gather = r.gather[:0]
+		for k := ofs[c]; k < ofs[c+1]; k++ {
+			b := r.block[r.members[k]]
+			if st[b] != r.epoch {
+				st[b] = r.epoch
+				r.gather = append(r.gather, b)
+			}
+		}
+		sort.Slice(r.gather, func(i, j int) bool { return r.gather[i] < r.gather[j] })
+		acc := int32(-1)
+		for _, b := range r.gather {
+			k := uint64(uint32(acc+1))<<32 | uint64(uint32(b))
+			id, ok := r.setIDs[k]
+			if !ok {
+				id = next
+				next++
+				r.setIDs[k] = id
+			}
+			acc = id
+		}
+		sg[c] = acc
+	}
+	return sg
+}
+
+// refine splits until a full round over all agents splits nothing.
+// Refinement only ever splits, so a round that leaves the block count
+// unchanged is the fixed point. Seeded runs that start at (or near) the
+// stable partition pay one confirming round instead of one round per
+// distinction the from-scratch refinement has to rediscover.
+func (r *refiner) refine() {
 	for {
-		before := n
-		for a := 0; a < m.numAgents; a++ {
-			if rels[a].ids == nil {
+		before := r.n
+		for a := 0; a < r.m.numAgents; a++ {
+			if r.rels[a].ids == nil {
 				continue
 			}
-			sg := classSigs(rels[a])
-			clear(pair)
+			sg := r.classSigs(r.rels[a])
+			clear(r.pair)
 			next := int32(0)
-			for w := 0; w < W; w++ {
-				k := uint64(uint32(block[w]))<<32 | uint64(uint32(sg[rels[a].ids[w]]))
-				id, ok := pair[k]
+			for w := 0; w < r.W; w++ {
+				k := uint64(uint32(r.block[w]))<<32 | uint64(uint32(sg[r.rels[a].ids[w]]))
+				id, ok := r.pair[k]
 				if !ok {
 					id = next
 					next++
-					pair[k] = id
+					r.pair[k] = id
 				}
-				block[w] = id
+				r.block[w] = id
 			}
-			n = next
+			r.n = next
 		}
-		if n == before {
+		if r.n == before {
 			break
 		}
 	}
+}
 
-	// Build the quotient. rep[b] is the smallest world of block b (blocks
-	// are numbered by first occurrence, so a forward scan fills it).
-	nB := int(n)
+// quotient materializes the model of the current block partition, which
+// must be stable (refine has run, or the blocks are a known bisimulation).
+// rep[b] is the smallest world of block b (blocks are numbered by first
+// occurrence, so a forward scan fills it).
+func (r *refiner) quotient() (*Model, []int) {
+	m, W := r.m, r.W
+	nB := int(r.n)
 	rep := make([]int32, nB)
 	for i := range rep {
 		rep[i] = -1
 	}
 	for w := 0; w < W; w++ {
-		if rep[block[w]] < 0 {
-			rep[block[w]] = int32(w)
+		if rep[r.block[w]] < 0 {
+			rep[r.block[w]] = int32(w)
 		}
 	}
 	q := NewModel(nB, m.numAgents)
@@ -230,23 +340,23 @@ func (m *Model) Minimize() (*Model, []int) {
 	// id at the representative's class" is exactly the quotient partition,
 	// installed as dense ids with no union-find.
 	for a := 0; a < m.numAgents; a++ {
-		if rels[a].ids == nil {
+		if r.rels[a].ids == nil {
 			continue // discrete stays discrete
 		}
-		sg := classSigs(rels[a])
+		sg := r.classSigs(r.rels[a])
 		// Sig ids (including the prefix ids of the pair folds) are bounded
 		// by the total block-list length, hence by W.
-		if cap(mark) < W {
-			mark = make([]int32, W)
+		if cap(r.mark) < W {
+			r.mark = make([]int32, W)
 		}
-		mk := mark[:W]
+		mk := r.mark[:W]
 		for i := range mk {
 			mk[i] = -1
 		}
 		qids := make([]int32, nB)
 		next := int32(0)
 		for b := 0; b < nB; b++ {
-			s := sg[rels[a].ids[rep[b]]]
+			s := sg[r.rels[a].ids[rep[b]]]
 			if mk[s] < 0 {
 				mk[s] = next
 				next++
@@ -258,8 +368,9 @@ func (m *Model) Minimize() (*Model, []int) {
 	for b := 0; b < nB; b++ {
 		q.SetName(b, fmt.Sprintf("b%d<%s>", b, m.Name(int(rep[b]))))
 	}
+	outBlock := make([]int, W)
 	for w := 0; w < W; w++ {
-		outBlock[w] = int(block[w])
+		outBlock[w] = int(r.block[w])
 	}
 	return q, outBlock
 }

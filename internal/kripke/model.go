@@ -119,6 +119,20 @@ type Model struct {
 	// after construction; jointPartition materializes entries on demand.
 	inheritedJoint map[string]pendingPart
 
+	// inheritedReach carries G-reachability partitions remapped from the
+	// model this one was restricted from, keyed like derived.reach. Unlike
+	// joint views the renamed ids are not exact — restriction can split
+	// components — so each entry is a *seed*: the true components refine
+	// it, and reachFromSeed rebuilds only the seed components that lost a
+	// world. Read-only after construction.
+	inheritedReach map[string]reachSeed
+
+	// quotSeed, when non-nil, is a Minimize block map of the model this one
+	// was restricted from, renamed over the kept worlds. Minimize uses it
+	// to re-refine incrementally (minimizeSeeded) instead of refining from
+	// the trivial partition. Read-only after construction.
+	quotSeed *pendingPart
+
 	// derived caches the partition tables; buildMu serializes their
 	// (re)construction so concurrent evaluators build them once.
 	derived atomic.Pointer[derived]
@@ -150,6 +164,17 @@ type agentRel struct {
 type pendingPart struct {
 	ids []int32
 	n   int
+}
+
+// reachSeed is a pre-announcement reachability partition renamed over the
+// kept worlds. Removing worlds can only disconnect, never connect, so the
+// true components of the restricted model refine the seed exactly within
+// its classes; touched[c] records whether seed component c lost a world
+// anywhere along the restriction chain (only those need rebuilding).
+type reachSeed struct {
+	ids     []int32
+	n       int
+	touched []bool
 }
 
 // derived holds everything computed from the construction-time relations:
@@ -312,13 +337,16 @@ func (m *Model) Indistinguishable(a int, w1, w2 int) {
 }
 
 // invalidateDerived drops every table derived from the relations: the
-// partition-table cache and any joint-view partitions inherited from a
-// restriction (they describe the pre-mutation relations).
+// partition-table cache and any state inherited from a restriction —
+// joint-view partitions, reachability seeds and the quotient seed all
+// describe the pre-mutation relations.
 func (m *Model) invalidateDerived() {
 	if m.derived.Load() != nil {
 		m.derived.Store(nil)
 	}
 	m.inheritedJoint = nil
+	m.inheritedReach = nil
+	m.quotSeed = nil
 }
 
 // setPartition installs agent a's whole view partition as dense class ids
@@ -520,10 +548,14 @@ func (m *Model) groupKey(dst []byte, agents []int) []byte {
 // iteration of a fixed point — reuses it instead of rebuilding a
 // union-find per call.
 //
-// Unlike joint-view partitions, reachability components do not survive
-// restriction (two kept worlds may be connected only through removed
-// worlds, so restricted components can be strictly finer), which is why
-// Restrict remaps the joint cache but never this one.
+// Unlike joint-view partitions, renamed reachability components are not
+// exact after a restriction (two kept worlds may be connected only through
+// removed worlds, so restricted components can be strictly finer). Restrict
+// therefore carries them as *seeds*: components can only split within old
+// components, so the rebuild is component-local — seed components that lost
+// no world keep their id wholesale, and only the touched ones re-run a
+// union-find over their own worlds (reachFromSeed). Without a seed the
+// components are built from scratch over the whole model.
 func (m *Model) reachPartition(t *derived, agents []int, keyBuf []byte) *partition {
 	key := m.groupKey(keyBuf[:0], agents)
 	t.mu.RLock()
@@ -532,6 +564,24 @@ func (m *Model) reachPartition(t *derived, agents []int, keyBuf []byte) *partiti
 	if p != nil {
 		return p
 	}
+	if seed, ok := m.inheritedReach[string(key)]; ok {
+		p = m.reachFromSeed(t, agents, seed)
+	} else {
+		p = m.reachScratch(t, agents)
+	}
+	t.mu.Lock()
+	if q := t.reach[string(key)]; q != nil {
+		p = q // another evaluator won the race; keep one copy
+	} else {
+		t.reach[string(key)] = p
+	}
+	t.mu.Unlock()
+	return p
+}
+
+// reachScratch builds the G-reachability components with one union-find
+// pass over every agent's whole partition.
+func (m *Model) reachScratch(t *derived, agents []int) *partition {
 	m.ensureParts(t, agents)
 	d := unionfind.New(m.numWorlds)
 	var first []int32
@@ -555,15 +605,105 @@ func (m *Model) reachPartition(t *derived, agents []int, keyBuf []byte) *partiti
 	}
 	ids := make([]int32, m.numWorlds)
 	n := d.CompIDsInto(ids, nil)
-	p = newPartition(ids, n)
-	t.mu.Lock()
-	if q := t.reach[string(key)]; q != nil {
-		p = q // another evaluator won the race; keep one copy
-	} else {
-		t.reach[string(key)] = p
+	return newPartition(ids, n)
+}
+
+// reachFromSeed rebuilds the G-reachability components from an inherited
+// seed, component-locally: worlds are bucketed by seed component, untouched
+// components keep a single fresh id with no union-find work at all, and
+// each touched component runs a seeded union-find over only its own worlds
+// (classes never cross components, so the locality is exact). Cost is
+// O(worlds) for the bucketing plus O(|component| · |agents|) per touched
+// component, instead of O(worlds · |agents|) from scratch.
+func (m *Model) reachFromSeed(t *derived, agents []int, seed reachSeed) *partition {
+	// A single touched component (the degenerate fully-connected case, as
+	// in the muddy models) has nothing to skip, so the bucketing overhead
+	// is not worth paying.
+	if seed.n <= 1 && (seed.n == 0 || seed.touched[0]) {
+		return m.reachScratch(t, agents)
 	}
-	t.mu.Unlock()
-	return p
+	m.ensureParts(t, agents)
+	W := m.numWorlds
+	// Bucket worlds by seed component (counting sort; seed ids are dense).
+	off := make([]int32, seed.n+1)
+	for _, id := range seed.ids {
+		off[id+1]++
+	}
+	for c := 0; c < seed.n; c++ {
+		off[c+1] += off[c]
+	}
+	members := make([]int32, W)
+	cur := append([]int32(nil), off[:seed.n]...)
+	for w, id := range seed.ids {
+		members[cur[id]] = int32(w)
+		cur[id]++
+	}
+	ids := make([]int32, W)
+	next := int32(0)
+	// Scratch for the touched components, allocated on first need: a
+	// reusable local DSU, epoch-stamped first-member-per-class tables, and
+	// epoch-stamped root→id tables for the dense renumbering.
+	var (
+		d              *unionfind.DSU
+		stamp, firstAt []int32
+		classEpoch     int32
+		rootID         []int32
+		rootStamp      []int32
+		rootEpoch      int32
+	)
+	for c := 0; c < seed.n; c++ {
+		ms := members[off[c]:off[c+1]]
+		if !seed.touched[c] {
+			// The component lost no world anywhere along the chain: its
+			// classes are intact, so it is still one connected component.
+			for _, w := range ms {
+				ids[w] = next
+			}
+			next++
+			continue
+		}
+		if d == nil {
+			d = unionfind.New(len(ms))
+			maxClasses := 0
+			for _, a := range agents {
+				if p := t.parts[a].Load(); p.n > maxClasses {
+					maxClasses = p.n
+				}
+			}
+			stamp = make([]int32, maxClasses)
+			firstAt = make([]int32, maxClasses)
+			rootID = make([]int32, W)
+			rootStamp = make([]int32, W)
+		} else {
+			d.Reset(len(ms))
+		}
+		// Seeded union-find over only this component's worlds, indexed by
+		// their position in ms.
+		for _, a := range agents {
+			part := t.parts[a].Load()
+			classEpoch++
+			for i, w := range ms {
+				cls := part.ids[w]
+				if stamp[cls] != classEpoch {
+					stamp[cls] = classEpoch
+					firstAt[cls] = int32(i)
+				} else {
+					d.Union(int(firstAt[cls]), i)
+				}
+			}
+		}
+		rootEpoch++
+		for i, w := range ms {
+			r := d.Find(i)
+			if rootStamp[r] != rootEpoch {
+				rootStamp[r] = rootEpoch
+				rootID[r] = next
+				next++
+			}
+			ids[w] = rootID[r]
+		}
+	}
+	return newPartition(ids, int(next))
 }
 
 // jointPartition returns the common refinement of the agents' view
@@ -866,20 +1006,67 @@ func renumber(dst []int32, src []int32, old []int, mark []int32) int32 {
 	return next
 }
 
+// RestrictOptions selects which derived state Restrict threads into the
+// submodel. The zero value is the fully from-scratch restriction (nothing
+// inherited — the ablation baseline); DefaultRestrictOptions (what Restrict
+// uses) inherits everything that is sound to inherit.
+type RestrictOptions struct {
+	// InheritJoint remaps memoized joint-view partitions into the submodel.
+	// Common refinement commutes with restriction, so the renamed ids are
+	// exact.
+	InheritJoint bool
+	// InheritReach carries memoized G-reachability partitions into the
+	// submodel as re-refinement seeds: components only split under
+	// restriction, so the submodel rebuilds them component-locally
+	// (untouched components are free) instead of from scratch.
+	InheritReach bool
+	// SeedBlocks, when non-nil, must be a Minimize block map of the model
+	// being restricted (or a chain-composed one); its renaming over the
+	// kept worlds seeds the submodel's next Minimize, which then re-refines
+	// from the old blocks instead of the trivial partition. Any partition
+	// of the worlds yields a correct (exact) Minimize; seeds far from the
+	// true quotient merely refine longer.
+	SeedBlocks []int
+}
+
+// DefaultRestrictOptions inherits joint views and reachability seeds — the
+// options plain Restrict uses.
+func DefaultRestrictOptions() RestrictOptions {
+	return RestrictOptions{InheritJoint: true, InheritReach: true}
+}
+
 // Restrict returns the submodel induced by the given world set (a public
 // announcement of "the actual world is in keep"). World w of the new model
 // is the i-th element of keep in increasing order. Ground facts and
 // indistinguishability are inherited: valuation columns are compacted with
 // the word-level gather kernel, per-agent partitions are renamed in one
-// pass per agent (sharded across goroutines on large wide models), and any
+// pass per agent (sharded across goroutines on large wide models), any
 // memoized joint-view partitions are remapped into the new model —
 // restriction commutes with common refinement, so an announcement chain
-// inherits its D_G structure instead of recomputing it. Reachability
-// components are not carried over (they do not commute with restriction)
-// and are rebuilt lazily on first C_G use. The Temporal hook is likewise
-// not carried over, since run/time structure generally does not survive
+// inherits its D_G structure instead of recomputing it — and memoized
+// reachability components are carried as seeds for the component-local
+// rebuild on the submodel's first C_G use. The Temporal hook is not
+// carried over, since run/time structure generally does not survive
 // restriction.
 func (m *Model) Restrict(keep *bitset.Set) *Model {
+	return m.RestrictOpts(keep, DefaultRestrictOptions())
+}
+
+// RestrictWithQuotient is Restrict threading a Minimize block map of this
+// model through the announcement: the submodel's next Minimize (and hence
+// QuotientForEval) re-refines from the renamed old blocks instead of the
+// trivial partition, which is what makes quotient-before-eval pay inside a
+// round loop rather than only for one-shot batches. blocks must have one
+// entry per world of this model.
+func (m *Model) RestrictWithQuotient(keep *bitset.Set, blocks []int) *Model {
+	opts := DefaultRestrictOptions()
+	opts.SeedBlocks = blocks
+	return m.RestrictOpts(keep, opts)
+}
+
+// RestrictOpts is Restrict with explicit control over the inherited state;
+// see RestrictOptions.
+func (m *Model) RestrictOpts(keep *bitset.Set, opts RestrictOptions) *Model {
 	scr := restrictPool.Get().(*restrictScratch)
 	old := scr.old[:0]
 	keep.ForEach(func(w int) bool {
@@ -927,7 +1114,15 @@ func (m *Model) Restrict(keep *bitset.Set) *Model {
 		}
 	}
 
-	m.inheritJointInto(sub, old, scr)
+	if opts.InheritJoint {
+		m.inheritJointInto(sub, old, scr)
+	}
+	if opts.InheritReach {
+		m.inheritReachInto(sub, old, scr)
+	}
+	if opts.SeedBlocks != nil {
+		m.seedQuotientInto(sub, old, opts.SeedBlocks)
+	}
 	restrictPool.Put(scr)
 	return sub
 }
@@ -999,4 +1194,84 @@ func (m *Model) inheritJointInto(sub *Model, old []int, scr *restrictScratch) {
 	for key, pp := range m.inheritedJoint {
 		remap(key, pp.ids, pp.n)
 	}
+}
+
+// inheritReachInto carries every memoized (or still-pending) reachability
+// partition of m onto the restricted model as a seed: the class ids are
+// renamed over the kept worlds, and a seed component is flagged touched
+// when it lost a world in this restriction (or already was touched earlier
+// in the chain without having been rebuilt since). Materialized entries of
+// m are exact components and take precedence over m's own pending seeds
+// for the same group.
+func (m *Model) inheritReachInto(sub *Model, old []int, scr *restrictScratch) {
+	remap := func(key string, ids []int32, n int, oldTouched []bool) {
+		if _, ok := sub.inheritedReach[key]; ok {
+			return
+		}
+		if cap(scr.mark) < n {
+			scr.mark = make([]int32, n)
+		}
+		mark := scr.mark[:n]
+		subIDs := make([]int32, len(old))
+		next := renumber(subIDs, ids, old, mark)
+		// A component is touched iff it kept fewer worlds than it had (or
+		// carried a touched flag from an earlier, never-rebuilt remap).
+		oldCount := make([]int32, n)
+		for _, id := range ids {
+			oldCount[id]++
+		}
+		keptCount := make([]int32, next)
+		for _, id := range subIDs {
+			keptCount[id]++
+		}
+		touched := make([]bool, next)
+		for oldID := 0; oldID < n; oldID++ {
+			newID := mark[oldID]
+			if newID < 0 {
+				continue // component eliminated entirely
+			}
+			touched[newID] = keptCount[newID] != oldCount[oldID] ||
+				(oldTouched != nil && oldTouched[oldID])
+		}
+		if sub.inheritedReach == nil {
+			sub.inheritedReach = make(map[string]reachSeed)
+		}
+		sub.inheritedReach[key] = reachSeed{ids: subIDs, n: int(next), touched: touched}
+	}
+	if t := m.derived.Load(); t != nil {
+		t.mu.RLock()
+		for key, p := range t.reach {
+			remap(key, p.ids, p.n, nil)
+		}
+		t.mu.RUnlock()
+	}
+	for key, rs := range m.inheritedReach {
+		remap(key, rs.ids, rs.n, rs.touched)
+	}
+}
+
+// seedQuotientInto renames a Minimize block map of m over the kept worlds
+// and installs it as the submodel's quotient seed.
+func (m *Model) seedQuotientInto(sub *Model, old []int, blocks []int) {
+	if len(blocks) != m.numWorlds {
+		panic(fmt.Sprintf("kripke: RestrictWithQuotient got a block map of %d entries for %d worlds",
+			len(blocks), m.numWorlds))
+	}
+	// The Minimize contract makes block ids dense in [0, numWorlds), so a
+	// mark table sized by the world count always fits.
+	mark := make([]int32, m.numWorlds)
+	for i := range mark {
+		mark[i] = -1
+	}
+	subIDs := make([]int32, len(old))
+	next := int32(0)
+	for i, w := range old {
+		b := blocks[w]
+		if mark[b] < 0 {
+			mark[b] = next
+			next++
+		}
+		subIDs[i] = mark[b]
+	}
+	sub.quotSeed = &pendingPart{ids: subIDs, n: int(next)}
 }

@@ -69,8 +69,9 @@ func (m *Model) QuotientForEvalEpistemic(minWorlds int) *Quotiented {
 }
 
 // epistemicView returns the model stripped of its temporal hook: a shallow
-// model sharing the (immutable once constructed) valuation columns, names
-// and relation ids, with its own derived-table caches.
+// model sharing the (immutable once constructed) valuation columns, names,
+// relation ids and restriction-inherited seeds, with its own derived-table
+// caches.
 func (m *Model) epistemicView() *Model {
 	if m.Temporal == nil {
 		return m
@@ -79,6 +80,8 @@ func (m *Model) epistemicView() *Model {
 	v.names = m.names
 	v.valuation = m.valuation
 	v.inheritedJoint = m.inheritedJoint
+	v.inheritedReach = m.inheritedReach
+	v.quotSeed = m.quotSeed
 	for a := 0; a < m.numAgents; a++ {
 		ids, n := m.relIDs(a)
 		if ids != nil {
@@ -91,6 +94,29 @@ func (m *Model) epistemicView() *Model {
 // Quotiented reports whether evaluation actually runs on a quotient (false
 // when the size or shrinkage gates kept the original model).
 func (q *Quotiented) Quotiented() bool { return q.block != nil }
+
+// Model returns the original model the view wraps.
+func (q *Quotiented) Model() *Model { return q.orig }
+
+// Blocks returns the Minimize block map evaluation is routed through, or
+// nil when the gates kept the original model. The slice is shared with the
+// view; callers must not modify it.
+func (q *Quotiented) Blocks() []int { return q.block }
+
+// Restrict applies a public announcement to the view: the original model is
+// restricted to keep (a set of original-model worlds), the current block
+// map — when there is one — is threaded through the restriction so the
+// submodel's quotient re-refines incrementally from the renamed old blocks,
+// and a fresh view is built over the submodel with the same gates as
+// QuotientForEval. This is the per-round step of an announcement chain:
+// each link pays an incremental re-refinement instead of a from-scratch
+// Minimize.
+func (q *Quotiented) Restrict(keep *bitset.Set, minWorlds int) *Quotiented {
+	if q.block == nil {
+		return q.orig.Restrict(keep).QuotientForEval(minWorlds)
+	}
+	return q.orig.RestrictWithQuotient(keep, q.block).QuotientForEval(minWorlds)
+}
 
 // NumWorlds returns the world count of the original model.
 func (q *Quotiented) NumWorlds() int { return q.orig.numWorlds }

@@ -1,0 +1,66 @@
+package muddy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSimulateOptsIncrementalMatchesScratch pins the two announcement
+// paths of the round loop to each other: the incremental Restrict (joint
+// views and reachability seeds threaded through every round) must be
+// observationally identical to the from-scratch baseline, answers, common
+// -knowledge verdicts and termination round alike.
+func TestSimulateOptsIncrementalMatchesScratch(t *testing.T) {
+	cases := []struct {
+		n     int
+		muddy []int
+	}{
+		{3, []int{1}},
+		{5, []int{0, 2}},
+		{6, []int{0, 1, 2, 3}},
+		{8, []int{3, 4, 5}},
+	}
+	for _, tc := range cases {
+		inc, err := SimulateOpts(tc.n, tc.muddy, PublicAnnouncement, tc.n+2,
+			SimOptions{Incremental: true, TrackCommon: true})
+		if err != nil {
+			t.Fatalf("n=%d incremental: %v", tc.n, err)
+		}
+		scr, err := SimulateOpts(tc.n, tc.muddy, PublicAnnouncement, tc.n+2,
+			SimOptions{Incremental: false, TrackCommon: true})
+		if err != nil {
+			t.Fatalf("n=%d from-scratch: %v", tc.n, err)
+		}
+		if inc.FirstYesRound != scr.FirstYesRound || inc.YesAreMuddy != scr.YesAreMuddy {
+			t.Fatalf("n=%d: outcomes diverged: incremental %+v, from-scratch %+v", tc.n, inc, scr)
+		}
+		for i := range inc.Rounds {
+			if !reflect.DeepEqual(inc.Rounds[i].Yes, scr.Rounds[i].Yes) {
+				t.Fatalf("n=%d round %d: answers diverged: %v vs %v",
+					tc.n, i+1, inc.Rounds[i].Yes, scr.Rounds[i].Yes)
+			}
+		}
+		if !reflect.DeepEqual(inc.CommonM, scr.CommonM) {
+			t.Fatalf("n=%d: common-knowledge track diverged: %v vs %v", tc.n, inc.CommonM, scr.CommonM)
+		}
+	}
+}
+
+// TestTrackCommonAfterPublicAnnouncement pins the paper's observation that
+// the father's public announcement creates common knowledge of m, and that
+// the round announcements — which only remove worlds — never destroy it.
+func TestTrackCommonAfterPublicAnnouncement(t *testing.T) {
+	res, err := SimulateOpts(6, []int{0, 1, 2}, PublicAnnouncement, 8,
+		SimOptions{Incremental: true, TrackCommon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CommonM) != len(res.Rounds) {
+		t.Fatalf("CommonM has %d entries for %d rounds", len(res.CommonM), len(res.Rounds))
+	}
+	for i, cm := range res.CommonM {
+		if !cm {
+			t.Errorf("round %d: C m lost after the public announcement", i+1)
+		}
+	}
+}

@@ -49,6 +49,10 @@ type Puzzle struct {
 	// eliminated it.
 	actualWorld int
 	model       *kripke.Model
+	// fromScratch forces every announcement to rebuild the model's derived
+	// state from scratch instead of threading it through Restrict — the
+	// ablation baseline for the incremental chain path, never the default.
+	fromScratch bool
 }
 
 // MuddyProp returns the ground-fact name for "child i is muddy".
@@ -146,6 +150,12 @@ func (p *Puzzle) ActualWorld() (int, error) {
 	return p.actualWorld, nil
 }
 
+// SetIncremental selects between the incremental announcement path (the
+// default: Restrict threads memoized joint views and reachability seeds
+// into each round's submodel) and the from-scratch ablation baseline
+// (every round rebuilds derived state on first use).
+func (p *Puzzle) SetIncremental(on bool) { p.fromScratch = !on }
+
 // announce applies a truthful public announcement given as a world set,
 // tracking the actual world through the restriction by rank.
 func (p *Puzzle) announce(keep *bitset.Set) {
@@ -156,7 +166,11 @@ func (p *Puzzle) announce(keep *bitset.Set) {
 			p.actualWorld = -1
 		}
 	}
-	p.model = p.model.Restrict(keep)
+	if p.fromScratch {
+		p.model = p.model.RestrictOpts(keep, kripke.RestrictOptions{})
+	} else {
+		p.model = p.model.Restrict(keep)
+	}
 }
 
 // HoldsNow reports whether f holds at the actual world of the current model.
@@ -345,6 +359,11 @@ type SimResult struct {
 	// muddy children.
 	YesAreMuddy bool
 	Rounds      []RoundResult
+	// CommonM, present only when SimOptions.TrackCommon is set, records
+	// whether C m held at the actual world after each round's announcement
+	// (one entry per round). With the public announcement it is true in
+	// every round — common knowledge, once announced, survives the chain.
+	CommonM []bool
 	// BuildTime is the time spent constructing the initial model and
 	// applying the father's announcement (if any).
 	BuildTime time.Duration
@@ -363,14 +382,34 @@ const (
 	PrivateAnnouncement
 )
 
+// SimOptions tunes a simulation beyond the announcement mode.
+type SimOptions struct {
+	// Incremental selects the announcement path of the round loop: true
+	// (what Simulate uses) threads derived state through each Restrict,
+	// false forces the from-scratch ablation baseline.
+	Incremental bool
+	// TrackCommon evaluates C m at the actual world after every round and
+	// records the verdicts in SimResult.CommonM. The per-round C
+	// evaluation is exactly the workload the inherited reachability seeds
+	// accelerate.
+	TrackCommon bool
+}
+
 // Simulate runs the puzzle with n children, the listed ones muddy, under
-// the given announcement mode, for at most maxRounds rounds.
+// the given announcement mode, for at most maxRounds rounds, on the
+// incremental announcement path.
 func Simulate(n int, muddy []int, mode AnnouncementMode, maxRounds int) (SimResult, error) {
+	return SimulateOpts(n, muddy, mode, maxRounds, SimOptions{Incremental: true})
+}
+
+// SimulateOpts is Simulate with explicit options.
+func SimulateOpts(n int, muddy []int, mode AnnouncementMode, maxRounds int, opts SimOptions) (SimResult, error) {
 	buildStart := time.Now()
 	p, err := New(n, muddy)
 	if err != nil {
 		return SimResult{}, err
 	}
+	p.SetIncremental(opts.Incremental)
 	switch mode {
 	case NoAnnouncement:
 	case PublicAnnouncement:
@@ -392,6 +431,13 @@ func Simulate(n int, muddy []int, mode AnnouncementMode, maxRounds int) (SimResu
 			return res, err
 		}
 		res.Rounds = append(res.Rounds, r)
+		if opts.TrackCommon {
+			cm, err := p.CommonKnowledgeOfM()
+			if err != nil {
+				return res, err
+			}
+			res.CommonM = append(res.CommonM, cm)
+		}
 		if r.AnyYes() {
 			res.FirstYesRound = round
 			res.YesAreMuddy = true

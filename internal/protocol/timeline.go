@@ -87,6 +87,15 @@ func NewTimeline(r *runs.Run, p int) *Timeline {
 	return tl
 }
 
+// ReceivedBefore returns the number of messages the processor has received
+// strictly before time t, read off the precomputed prefix counts in O(1).
+// t must be in [0, Horizon+1]; t = Horizon+1 counts the whole run. Summing
+// it over the processors of a run counts the deliveries of the run — the
+// quantity the coordinated-attack delivery-chain replay announces.
+func (tl *Timeline) ReceivedBefore(t runs.Time) int {
+	return int(tl.recvBefore[t])
+}
+
 // At returns processor p's local view at time t, equal to ViewAt(r, p, t)
 // but without reconstructing the history. t must be in [0, Horizon].
 func (tl *Timeline) At(t runs.Time) LocalView {

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# cover.sh — coverage gate: run the full test suite with a coverage
+# profile and fail if the statement coverage of internal/kripke (the model
+# checker core every other package leans on) drops below the threshold.
+#
+# Usage: scripts/cover.sh [profile.out]
+#
+# The profile is left at the given path (default coverage.out) so CI can
+# upload it as an artifact. COVER_THRESHOLD overrides the default gate of
+# 80 (percent).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${COVER_THRESHOLD:-80}"
+PROFILE="${1:-coverage.out}"
+
+go test -coverprofile="$PROFILE" ./... >/dev/null
+
+# Profile lines are "<file>:<range> <statements> <hits>"; statement
+# coverage of a package is covered-statements / statements over its files.
+pct="$(awk '
+/^repro\/internal\/kripke\// {
+    total += $2
+    if ($3 > 0) covered += $2
+}
+END {
+    if (total == 0) { print "0.0"; exit }
+    printf "%.1f", covered / total * 100
+}' "$PROFILE")"
+
+overall="$(go tool cover -func="$PROFILE" | awk '/^total:/ { print $3 }')"
+echo "internal/kripke statement coverage: ${pct}% (gate: >= ${THRESHOLD}%); repo total: ${overall}"
+
+if awk -v p="$pct" -v t="$THRESHOLD" 'BEGIN { exit !(p < t) }'; then
+    echo "cover.sh: internal/kripke coverage ${pct}% is below the ${THRESHOLD}% gate" >&2
+    exit 1
+fi
