@@ -307,6 +307,48 @@ func BenchmarkAblationPointModelBuild(b *testing.B) {
 	}
 }
 
+// Ablation: the parallel batch-evaluation engine against the serial loop
+// on the muddy-round workload — n per-child know-sets plus group queries
+// against one shared model. The serial arm is the engine every caller had
+// before the fan-out; on a multi-core machine the parallel arm should
+// approach workers× for the kernel-bound queries, and on one core the two
+// arms coincide (EvalBatch degenerates to the serial loop).
+func BenchmarkAblationBatchEval(b *testing.B) {
+	const n = 13
+	pz, err := muddy.New(n, []int{0, 1, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := pz.Model()
+	var fs []logic.Formula
+	for i := 0; i < n; i++ {
+		mi := logic.P(muddy.MuddyProp(i))
+		fs = append(fs,
+			logic.Disj(logic.K(logic.Agent(i), mi), logic.K(logic.Agent(i), logic.Neg(mi))))
+	}
+	fs = append(fs,
+		logic.C(nil, logic.P(muddy.MProp)),
+		logic.EK(nil, 3, logic.P(muddy.MProp)),
+		logic.D(nil, logic.P(muddy.MuddyProp(0))),
+	)
+	if err := m.PrepareAgents(nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.EvalBatch(fs, kripke.BatchWorkers(mode.workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Ablation: the full experiment suite end to end.
 func BenchmarkAllExperiments(b *testing.B) {
 	b.ReportAllocs()

@@ -1,6 +1,8 @@
 // Command hmrepro runs the reproduction experiments (E1..E13 of DESIGN.md)
 // and prints their reports. With -list it enumerates the experiments; with
-// -run ID it executes a single one.
+// -run ID it executes a single one. The full suite fans the independent
+// experiments out across one worker per core (-parallel=0 forces the
+// serial loop); reports print in experiment order either way.
 //
 // Usage:
 //
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/kripke"
 )
 
 func main() {
@@ -28,6 +31,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hmrepro", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiments and exit")
 	only := fs.String("run", "", "run only the experiment with this id (e.g. E7)")
+	parallel := fs.Int("parallel", -1,
+		"workers for the experiment suite: <0 = one per core, 0 = serial, n = n workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,25 +46,40 @@ func run(args []string) error {
 	}
 
 	failures := 0
-	for _, e := range exps {
-		if *only != "" && e.ID != *only {
-			continue
+	if *only == "" {
+		// The full suite: independent experiments fan out across workers,
+		// reports print in experiment order.
+		reps, err := core.RunAllWorkers(kripke.WorkersFromFlag(*parallel))
+		// Print whatever completed before returning any error, so a
+		// failing experiment does not swallow the clean reports.
+		for _, rep := range reps {
+			if rep == nil {
+				continue
+			}
+			fmt.Print(rep)
+			fmt.Println()
+			if !rep.Pass {
+				failures++
+			}
 		}
-		rep, err := e.Run()
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return err
 		}
-		fmt.Print(rep)
-		fmt.Println()
-		if !rep.Pass {
-			failures++
-		}
-	}
-	if *only != "" && failures == 0 {
+	} else {
 		found := false
 		for _, e := range exps {
-			if e.ID == *only {
-				found = true
+			if e.ID != *only {
+				continue
+			}
+			found = true
+			rep, err := e.Run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Print(rep)
+			fmt.Println()
+			if !rep.Pass {
+				failures++
 			}
 		}
 		if !found {

@@ -6,6 +6,10 @@
 //
 //	mcknow -model m.json "C{0,1} (p & K0 p)" "E p -> D p"
 //
+// The formula batch is evaluated with the parallel fan-out of
+// kripke.EvalBatch (-parallel=0 forces the serial loop, <0 one worker per
+// core) and, under -quotient, on the bisimulation quotient of the model.
+//
 // Model file format:
 //
 //	{
@@ -49,6 +53,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("mcknow", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the model JSON file")
 	quotient := fs.String("quotient", "auto", "evaluate the batch on the bisimulation quotient: auto, on, off")
+	parallel := fs.Int("parallel", -1,
+		"workers for the formula batch: <0 = one per core, 0 = serial, n = n workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,15 +89,31 @@ func run(args []string) error {
 			q.QuotientWorlds(), q.NumWorlds())
 	}
 
+	// Parse the whole batch first, then evaluate it in one EvalBatch: the
+	// formulas are independent queries against one shared model, fanned
+	// out across -parallel workers.
+	formulas := make([]logic.Formula, 0, fs.NArg())
 	for _, src := range fs.Args() {
 		f, err := logic.Parse(src)
 		if err != nil {
 			return fmt.Errorf("parse %q: %w", src, err)
 		}
-		set, err := q.Eval(f)
-		if err != nil {
-			return fmt.Errorf("eval %q: %w", src, err)
+		formulas = append(formulas, f)
+	}
+	sets, err := q.EvalBatch(formulas, kripke.BatchWorkers(kripke.WorkersFromFlag(*parallel)))
+	if err != nil {
+		// Re-attribute the batch error to its formula: EvalBatch reports
+		// the smallest failing index's error, which is the first formula
+		// a serial sweep trips over.
+		for _, f := range formulas {
+			if _, ferr := q.Eval(f); ferr != nil {
+				return fmt.Errorf("eval %q: %w", f.String(), ferr)
+			}
 		}
+		return fmt.Errorf("eval: %w", err)
+	}
+	for i, f := range formulas {
+		set := sets[i]
 		fmt.Printf("%s\n", f)
 		switch {
 		case set.IsFull():

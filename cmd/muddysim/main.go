@@ -12,7 +12,10 @@
 // model checker visible from the command line. -incremental=false forces
 // every round's restriction onto the from-scratch path (the ablation
 // baseline for the incremental announcement chain); -common checks common
-// knowledge of m after every round.
+// knowledge of m after every round; -parallel controls the worker pool
+// that fans each round's n per-child knowledge checks out over the shared
+// round model (-parallel=0 forces the serial loop, <0 uses one worker per
+// core).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/kripke"
 	"repro/internal/muddy"
 )
 
@@ -46,6 +50,8 @@ func run(args []string) error {
 	incremental := fs.Bool("incremental", true,
 		"thread derived state (joint views, reachability seeds) through each round's announcement; false forces the from-scratch ablation path")
 	trackCommon := fs.Bool("common", false, "check common knowledge of m after every round")
+	parallel := fs.Int("parallel", -1,
+		"workers for the per-round knowledge batch: <0 = one per core, 0 = serial, n = n workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,7 +107,8 @@ func run(args []string) error {
 		}
 	}
 	res, err := muddy.SimulateOpts(*n, muddySet, m, budget,
-		muddy.SimOptions{Incremental: *incremental, TrackCommon: *trackCommon})
+		muddy.SimOptions{Incremental: *incremental, TrackCommon: *trackCommon,
+			Parallel: kripke.WorkersFromFlag(*parallel)})
 	if err != nil {
 		return err
 	}

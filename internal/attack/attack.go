@@ -378,6 +378,16 @@ func (s *System) ReplayDeliveryChain(pm *runs.PointModel, runName string, increm
 			return nil, err
 		}
 		step := ChainStep{Deliveries: d, Points: ch.NumWorlds(), QuotientWorlds: ch.QuotientWorlds()}
+		marked := ch.Marked()
+		if marked < 0 {
+			return nil, fmt.Errorf("attack: marked point eliminated by the del>=%d announcement", d)
+		}
+		// The link's verdicts — the alternating-knowledge tower and the
+		// common-knowledge check — are one batch of independent queries
+		// against the link model; the recorded depth is the consecutive
+		// prefix of true tower levels, the same value the old one-at-a-time
+		// loop stopped at.
+		fs := make([]logic.Formula, 0, s.Budget+2)
 		f := logic.P(IntentProp)
 		for lvl := 1; lvl <= s.Budget+1; lvl++ {
 			if lvl%2 == 1 {
@@ -385,20 +395,20 @@ func (s *System) ReplayDeliveryChain(pm *runs.PointModel, runName string, increm
 			} else {
 				f = logic.K(GeneralA, f)
 			}
-			ok, err := ch.Holds(f)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+			fs = append(fs, f)
+		}
+		fs = append(fs, logic.C(g, logic.P(IntentProp)))
+		sets, err := ch.EvalBatch(fs)
+		if err != nil {
+			return nil, err
+		}
+		for lvl := 1; lvl <= s.Budget+1; lvl++ {
+			if !sets[lvl-1].Contains(marked) {
 				break
 			}
 			step.Depth = lvl
 		}
-		common, err := ch.Holds(logic.C(g, logic.P(IntentProp)))
-		if err != nil {
-			return nil, err
-		}
-		step.Common = common
+		step.Common = sets[s.Budget+1].Contains(marked)
 		steps = append(steps, step)
 	}
 	return steps, nil

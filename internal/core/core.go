@@ -12,7 +12,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Report is the outcome of one experiment.
@@ -80,18 +83,58 @@ func All() []Experiment {
 	}
 }
 
-// RunAll executes every experiment and returns the reports. Execution
-// continues past failures; an error is returned only for infrastructure
-// problems.
-func RunAll() ([]*Report, error) {
+// RunAll executes every experiment and returns the reports, in experiment
+// order. Execution continues past failures; an error is returned only for
+// infrastructure problems. The experiments are independent — each builds
+// its own systems and models — so they are fanned out across one worker
+// per core (RunAllWorkers for explicit control); the reports are identical
+// to a serial run either way.
+func RunAll() ([]*Report, error) { return RunAllWorkers(0) }
+
+// RunAllWorkers is RunAll with an explicit worker count: 0 means one
+// worker per core (GOMAXPROCS), 1 forces the serial loop. On error the
+// returned slice holds the reports completed before the error was
+// noticed, in order, with nil gaps for experiments not finished.
+func RunAllWorkers(workers int) ([]*Report, error) {
 	exps := All()
-	out := make([]*Report, 0, len(exps))
-	for _, e := range exps {
-		rep, err := e.Run()
-		if err != nil {
-			return out, fmt.Errorf("core: %s: %w", e.ID, err)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	out := make([]*Report, len(exps))
+	if workers <= 1 {
+		for i, e := range exps {
+			rep, err := e.Run()
+			if err != nil {
+				return out[:i], fmt.Errorf("core: %s: %w", e.ID, err)
+			}
+			out[i] = rep
 		}
-		out = append(out, rep)
+		return out, nil
+	}
+	errs := make([]error, len(exps))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				out[i], errs[i] = exps[i].Run()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out[:i], fmt.Errorf("core: %s: %w", exps[i].ID, err)
+		}
 	}
 	return out, nil
 }

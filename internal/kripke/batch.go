@@ -1,0 +1,305 @@
+package kripke
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+)
+
+// This file implements the parallel batch-evaluation engine: EvalBatch fans
+// independent Eval calls out across a worker pool over one shared model.
+// The paper's headline workloads are many independent epistemic queries
+// against one model — the n per-child know-sets of a muddy children round,
+// the dozens of experiment formulas per system — and Halpern–Moses model
+// checking is embarrassingly parallel at the query level.
+//
+// What the workers share, and why it is safe:
+//
+//   - The model's construction data (valuation columns, relation ids) is
+//     immutable during evaluation, as the concurrent-Eval contract already
+//     requires.
+//   - Derived tables (per-agent partitions, joint-view refinements,
+//     reachability components) are built lazily behind single-flight
+//     guards — buildMu for the per-agent tables, an in-flight registry for
+//     the per-group partitions — so concurrent cold evaluators build each
+//     table exactly once and everyone else waits for the result instead of
+//     duplicating the build. EvalBatch additionally front-loads the tables
+//     its formulas will need (prepareBatch) before spawning workers.
+//   - Each worker owns a pooled evaluator (scratch freelist, kernel
+//     scratch, key arena), so all mutable evaluation state is private.
+//   - Closed-subformula denotations are shared through a lock-striped
+//     structural-key memo (sharedMemo): the first worker to finish a
+//     closed subformula publishes its denotation, later workers reuse it.
+//     Published sets are immutable from publication on — the evaluator
+//     treats shared memo hits exactly like its local memo hits (owned =
+//     false, copy before mutating).
+//
+// Verdicts are deterministic: denotations are semantically determined, so
+// the batch result is byte-identical to a serial Eval loop regardless of
+// scheduling (pinned by batch tests and the root regression test).
+
+// BatchOption configures EvalBatch.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	workers int
+}
+
+// BatchWorkers sets the worker count of an EvalBatch: n <= 0 selects one
+// worker per core (GOMAXPROCS, the default), n == 1 forces the serial
+// path, and larger n caps the pool at n workers. The pool is never wider
+// than the batch.
+func BatchWorkers(n int) BatchOption {
+	return func(c *batchConfig) { c.workers = n }
+}
+
+// WorkersFromFlag maps the CLI -parallel flag convention shared by the
+// repo's commands (flag < 0 = one worker per core, flag == 0 = serial,
+// flag == n = n workers) onto the worker-count semantics of BatchWorkers
+// and core.RunAllWorkers (0 = one per core, 1 = serial).
+func WorkersFromFlag(flag int) int {
+	switch {
+	case flag < 0:
+		return 0
+	case flag == 0:
+		return 1
+	default:
+		return flag
+	}
+}
+
+// memoShards is the stripe count of the shared structural-key memo. Keys
+// are spread by FNV-1a, so a handful of stripes keeps workers on disjoint
+// locks; the memo is per-batch and the stripes are tiny.
+const memoShards = 16
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]*bitset.Set
+}
+
+// sharedMemo is the lock-striped closed-subformula memo one EvalBatch's
+// workers share. Values are immutable once published.
+type sharedMemo struct {
+	shards [memoShards]memoShard
+}
+
+func newSharedMemo() *sharedMemo {
+	sm := &sharedMemo{}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[string]*bitset.Set)
+	}
+	return sm
+}
+
+// shardOf spreads structural keys across the stripes (FNV-1a).
+func shardOf(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h % memoShards
+}
+
+func (sm *sharedMemo) get(key []byte) *bitset.Set {
+	sh := &sm.shards[shardOf(key)]
+	sh.mu.RLock()
+	s := sh.m[string(key)]
+	sh.mu.RUnlock()
+	return s
+}
+
+// put publishes s under key. The first publisher wins; put returns the
+// winning set and whether s was it. A losing caller still owns its s and
+// should recycle it.
+func (sm *sharedMemo) put(key []byte, s *bitset.Set) (*bitset.Set, bool) {
+	sh := &sm.shards[shardOf(key)]
+	sh.mu.Lock()
+	if w, ok := sh.m[string(key)]; ok {
+		sh.mu.Unlock()
+		return w, false
+	}
+	sh.m[string(key)] = s
+	sh.mu.Unlock()
+	return s, true
+}
+
+// EvalBatch evaluates every formula of the batch and returns their
+// denotations, in order, fanning the evaluations out across a worker pool
+// over this one model (see BatchWorkers; the default is one worker per
+// core, so on a single-core machine the batch degenerates to the serial
+// loop). All formulas must be closed. The returned sets are owned by the
+// caller. On error, the error of the smallest failing index is returned —
+// the same error a serial loop would have stopped at.
+//
+// Like concurrent Eval, EvalBatch requires the model to be fully
+// constructed; it may run concurrently with other EvalBatch or Eval calls
+// on the same model, but not with construction.
+func (m *Model) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Set, error) {
+	var cfg batchConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fs) {
+		workers = len(fs)
+	}
+	out := make([]*bitset.Set, len(fs))
+	if workers <= 1 {
+		// Serial path: one evaluator for the whole batch, so its
+		// closed-subformula memo is shared across the formulas — a
+		// knowledge tower (each level containing the previous) costs one
+		// kernel per level instead of re-deriving every prefix. Results
+		// are identical to per-formula Eval; -parallel=0 / GOMAXPROCS=1
+		// callers measure the serial engine, batch-memoized.
+		ev := m.getEvaluator()
+		defer m.putEvaluator(ev)
+		for i, f := range fs {
+			s, owned, err := ev.eval(f, nil)
+			if err != nil {
+				return nil, err
+			}
+			if owned {
+				out[i] = s // scratch set leaves the evaluator's pool
+			} else {
+				out[i] = s.Clone()
+			}
+		}
+		return out, nil
+	}
+
+	// Front-load every derived table the batch can be seen to need, so
+	// workers start on warm tables instead of meeting on the single-flight
+	// guards one build at a time.
+	m.prepareBatch(fs)
+
+	sm := newSharedMemo()
+	errs := make([]error, len(fs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := m.getEvaluator()
+			ev.shared = sm
+			defer m.putEvaluator(ev)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fs) {
+					return
+				}
+				s, owned, err := ev.eval(fs[i], nil)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if owned {
+					out[i] = s // scratch set leaves the evaluator's pool
+				} else {
+					// Shared state (a memo entry, a fact column): the
+					// caller gets an independent copy.
+					out[i] = s.Clone()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// prepareBatch builds, ahead of the fan-out, the derived tables the batch
+// formulas mention: per-agent partition tables (sharded across goroutines
+// on large models, as PrepareAgents does), joint-view partitions for the
+// D_G groups and reachability partitions for the C_G groups. Invalid
+// agents or groups are skipped — the evaluation itself reports them with
+// its usual errors.
+func (m *Model) prepareBatch(fs []logic.Formula) {
+	t := m.tables()
+	seen := make([]bool, m.numAgents)
+	var agents []int
+	markAgent := func(a int) {
+		if a >= 0 && a < m.numAgents && !seen[a] {
+			seen[a] = true
+			agents = append(agents, a)
+		}
+	}
+	type groupNeed struct {
+		agents []int
+		joint  bool
+		reach  bool
+	}
+	groups := make(map[string]*groupNeed)
+	var keyBuf []byte
+	need := func(g logic.Group, joint, reach bool) {
+		resolved, err := m.resolveGroup(g)
+		if err != nil {
+			return
+		}
+		for _, a := range resolved {
+			markAgent(a)
+		}
+		if len(resolved) == 0 {
+			return
+		}
+		keyBuf = m.groupKey(keyBuf[:0], resolved)
+		gn := groups[string(keyBuf)]
+		if gn == nil {
+			gn = &groupNeed{agents: append([]int(nil), resolved...)}
+			groups[string(keyBuf)] = gn
+		}
+		gn.joint = gn.joint || joint
+		gn.reach = gn.reach || reach
+	}
+	for _, f := range fs {
+		logic.Walk(f, func(g logic.Formula) bool {
+			switch n := g.(type) {
+			case logic.Know:
+				markAgent(int(n.Agent))
+			case logic.Someone:
+				need(n.G, false, false)
+			case logic.Everyone:
+				need(n.G, false, false)
+			case logic.Dist:
+				need(n.G, true, false)
+			case logic.Common:
+				need(n.G, false, true)
+			case logic.EveryEps:
+				need(n.G, false, false)
+			case logic.CommonEps:
+				need(n.G, false, false)
+			case logic.EveryEv:
+				need(n.G, false, false)
+			case logic.CommonEv:
+				need(n.G, false, false)
+			case logic.EveryTime:
+				need(n.G, false, false)
+			case logic.CommonTime:
+				need(n.G, false, false)
+			}
+			return true
+		})
+	}
+	if len(agents) > 0 {
+		m.ensureParts(t, agents)
+	}
+	for _, gn := range groups {
+		if gn.joint {
+			m.jointPartition(t, gn.agents, nil)
+		}
+		if gn.reach {
+			m.reachPartition(t, gn.agents, nil)
+		}
+	}
+}

@@ -54,6 +54,13 @@ type evaluator struct {
 	memo    map[string]*bitset.Set
 	retired []*bitset.Set // memo values owned by the evaluator, recycled on reset
 
+	// shared, when non-nil, is the batch-wide closed-subformula memo of an
+	// EvalBatch fan-out (batch.go). Shared hits behave like local memo hits
+	// (owned = false); computed closed denotations are published instead of
+	// retired, transferring their ownership to the memo so no worker ever
+	// recycles a set another worker may be reading.
+	shared *sharedMemo
+
 	// Worklist-fixpoint scratch (worklist.go): the resolved partition list
 	// of the current body and the per-partition class stamps, which persist
 	// across the whole chaotic iteration so each class is removed once.
@@ -83,6 +90,7 @@ func (m *Model) putEvaluator(ev *evaluator) {
 	ev.retired = ev.retired[:0]
 	clear(ev.memo)
 	ev.arena = ev.arena[:0]
+	ev.shared = nil
 	m.evalPool.Put(ev)
 }
 
@@ -249,13 +257,34 @@ func (ev *evaluator) eval(f logic.Formula, env *binding) (*bitset.Set, bool, err
 				ev.arena = ev.arena[:start]
 				return s, false, nil
 			}
+			if ev.shared != nil {
+				if s := ev.shared.get(ev.arena[start:]); s != nil {
+					ev.memo[string(ev.arena[start:])] = s
+					ev.arena = ev.arena[:start]
+					return s, false, nil
+				}
+			}
 		}
 		s, owned, err := ev.evalCompound(f, env)
 		if err == nil && closed {
-			ev.memo[string(ev.arena[start:])] = s
-			if owned {
-				ev.retired = append(ev.retired, s)
+			if ev.shared != nil {
+				// Publish to the batch-wide memo. A winning set's ownership
+				// transfers to the memo (it is immutable from here on, and
+				// never recycled); a losing duplicate is reclaimed and the
+				// winner adopted, so all workers alias one copy.
+				winner, won := ev.shared.put(ev.arena[start:], s)
+				if !won {
+					ev.releaseIf(s, owned)
+					s = winner
+				}
+				ev.memo[string(ev.arena[start:])] = s
 				owned = false
+			} else {
+				ev.memo[string(ev.arena[start:])] = s
+				if owned {
+					ev.retired = append(ev.retired, s)
+					owned = false
+				}
 			}
 		}
 		ev.arena = ev.arena[:start]

@@ -161,7 +161,7 @@ func TestMinimizeSeededArbitrarySeed(t *testing.T) {
 		for w := range seed {
 			seed[w] = int32(rng.Intn(nSeed))
 		}
-		qi, bi := m.minimizeSeeded(seed, nSeed)
+		qi, bi := m.minimizeSeeded(seed, nSeed, nil)
 		if qi.NumWorlds() != qs.NumWorlds() || !equalInts(bi, bs) {
 			t.Fatalf("trial %d: arbitrary seed changed the quotient: %d worlds %v, want %d worlds %v",
 				trial, qi.NumWorlds(), bi, qs.NumWorlds(), bs)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/unionfind"
 )
 
 // Minimize returns the bisimulation quotient of the model: the smallest
@@ -45,7 +46,7 @@ import (
 // of the run-based operators.
 func (m *Model) Minimize() (*Model, []int) {
 	if s := m.quotSeed; s != nil {
-		return m.minimizeSeeded(s.ids, s.n)
+		return m.minimizeSeeded(s.ids, s.n, s.dirty)
 	}
 	return m.minimizeScratch()
 }
@@ -71,16 +72,17 @@ func (m *Model) minimizeScratch() (*Model, []int) {
 // but possibly finer than the true coarsest one: a restriction usually
 // only splits blocks, yet it can also merge worlds that were previously
 // distinguished only through removed worlds. To stay exact, the
-// intermediate quotient — already small — is minimized once from scratch,
-// and the two block maps are composed. That second pass is a full
-// refinement of the quotient, so it costs O(blocks²) worst case (e.g. a
-// chain-shaped quotient) — bounded by the quotient size, never the world
-// count, which is what makes the seeded path pay on redundant models
-// (see ROADMAP for the touched-block refinement that could shrink it
-// further). When something did merge, the composed partition is rebuilt
-// into a quotient of m directly, so names, representatives and numbering
-// follow the Minimize contract either way.
-func (m *Model) minimizeSeeded(seed []int32, nSeed int) (*Model, []int) {
+// intermediate quotient — already small — is minimized once more, and the
+// two block maps are composed. That second "compose" pass is bounded by
+// the quotient size, never the world count, which is what makes the
+// seeded path pay on redundant models; when the restriction recorded
+// touched-block flags (dirty, non-nil only for declared-exact seeds), the
+// pass is further narrowed to the disturbed region — or skipped outright
+// when no block was disturbed (see composeQuotient). When something did
+// merge, the composed partition is rebuilt into a quotient of m directly,
+// so names, representatives and numbering follow the Minimize contract
+// either way.
+func (m *Model) minimizeSeeded(seed []int32, nSeed int, dirty []bool) (*Model, []int) {
 	if m.numWorlds == 0 {
 		return NewModel(0, m.numAgents), []int{}
 	}
@@ -88,7 +90,10 @@ func (m *Model) minimizeSeeded(seed []int32, nSeed int) (*Model, []int) {
 	r.splitByFacts()
 	r.refine()
 	q1, b1 := r.quotient()
-	q2, b2 := q1.minimizeScratch()
+	q2, b2, exact := q1.composeQuotient(seed, b1, dirty)
+	if exact {
+		return q1, b1
+	}
 	if q2.numWorlds == q1.numWorlds {
 		return q1, b1
 	}
@@ -101,6 +106,143 @@ func (m *Model) minimizeSeeded(seed []int32, nSeed int) (*Model, []int) {
 	// so the quotient tail applies directly with no further refinement.
 	r2 := m.newRefiner(comp, int32(q2.numWorlds))
 	return r2.quotient()
+}
+
+// composeQuotient runs minimizeSeeded's merge-finding pass on the
+// intermediate quotient q1 (the stable refinement of the seed). Without
+// touched-block flags it is a full from-scratch Minimize of q1. With them
+// it exploits two facts:
+//
+//   - No dirty block at all means no kept world's view class lost a world
+//     anywhere, so every world's modal environment — and hence its
+//     bisimilarity class — is untouched: the restriction cannot have
+//     merged anything and q1 is already exact (reported via exact=true).
+//   - Otherwise, merges are confined to the disturbed region: a block
+//     whose connected component (under the union of all agents' classes)
+//     contains no dirty block sits in a sub-model identical to its
+//     pre-announcement counterpart, so two such blocks that the exact seed
+//     distinguished stay distinguished. Any merged pair therefore has a
+//     member in a disturbed component — and its partners share that
+//     member's fact signature. Grouping exactly the blocks that are in a
+//     disturbed component or share a fact signature with one (coarser than
+//     the true quotient, by the above) and refining to stability yields
+//     the coarsest bisimulation while leaving every clean block a
+//     singleton the refinement never has to walk.
+//
+// The dirty flags are sound only for seeds that were the parent model's
+// own coarsest quotient (RestrictOptions.SeedBlocksExact); arbitrary seeds
+// come through with dirty == nil and take the full pass.
+func (q1 *Model) composeQuotient(seed []int32, b1 []int, dirty []bool) (*Model, []int, bool) {
+	if dirty == nil {
+		q2, b2 := q1.minimizeScratch()
+		return q2, b2, false
+	}
+	// Map each q1 block to its seed block's dirty flag via the block's
+	// representative (the smallest member, by the block-map contract).
+	nB := q1.numWorlds
+	blockDirty := make([]bool, nB)
+	repSeen := make([]bool, nB)
+	anyDirty := false
+	for w, b := range b1 {
+		if !repSeen[b] {
+			repSeen[b] = true
+			blockDirty[b] = dirty[seed[w]]
+			anyDirty = anyDirty || blockDirty[b]
+		}
+	}
+	if !anyDirty {
+		return nil, nil, true // nothing disturbed: no merge is possible
+	}
+	// Connected components of q1 under the union of all agents' classes.
+	d := unionfind.New(nB)
+	var first []int32
+	for a := 0; a < q1.numAgents; a++ {
+		ids, n := q1.relIDs(a)
+		if ids == nil {
+			continue
+		}
+		if cap(first) < n {
+			first = make([]int32, n)
+		}
+		f := first[:n]
+		for i := range f {
+			f[i] = -1
+		}
+		for w, id := range ids {
+			if f[id] < 0 {
+				f[id] = int32(w)
+			} else {
+				d.Union(int(f[id]), w)
+			}
+		}
+	}
+	compDirty := make([]bool, nB)
+	for b := 0; b < nB; b++ {
+		if blockDirty[b] {
+			compDirty[d.Find(b)] = true
+		}
+	}
+	// Fact signature of each q1 block: successive (sig, bit) renumbering
+	// over the fact columns, the same split Minimize itself starts with.
+	factSig := make([]int32, nB)
+	nSig := int32(1)
+	mark := make([]int32, 2*nB)
+	for _, prop := range q1.Facts() {
+		col := q1.valuation[prop]
+		need := 2 * nSig
+		for i := int32(0); i < need; i++ {
+			mark[i] = -1
+		}
+		next := int32(0)
+		for b := 0; b < nB; b++ {
+			k := 2 * factSig[b]
+			if col.Contains(b) {
+				k++
+			}
+			if mark[k] < 0 {
+				mark[k] = next
+				next++
+			}
+			factSig[b] = mark[k]
+		}
+		nSig = next
+	}
+	// The disturbed region: blocks in dirty components seed it, and any
+	// block sharing a fact signature with one joins (a merge partner has
+	// equal facts, so the signature closure catches it).
+	sigDirty := make([]bool, nSig)
+	for b := 0; b < nB; b++ {
+		if compDirty[d.Find(b)] {
+			sigDirty[factSig[b]] = true
+		}
+	}
+	// Hypothesis partition: disturbed blocks grouped by fact signature,
+	// clean blocks as singletons, numbered by first occurrence. It is
+	// coarser than the true quotient, so refining it to stability lands
+	// exactly there — walking only the disturbed groups.
+	hIDs := make([]int32, nB)
+	sigClass := mark[:nSig]
+	for i := range sigClass {
+		sigClass[i] = -1
+	}
+	next := int32(0)
+	for b := 0; b < nB; b++ {
+		if sigDirty[factSig[b]] {
+			if sigClass[factSig[b]] < 0 {
+				sigClass[factSig[b]] = next
+				next++
+			}
+			hIDs[b] = sigClass[factSig[b]]
+		} else {
+			hIDs[b] = next
+			next++
+		}
+	}
+	r := q1.newRefiner(hIDs, next)
+	r.splitByFacts()
+	r.refine()
+	q2, b2 := r.quotient()
+	return q2, b2, false
 }
 
 // refiner is one partition-refinement run over a model: the current block

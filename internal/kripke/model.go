@@ -131,7 +131,7 @@ type Model struct {
 	// was restricted from, renamed over the kept worlds. Minimize uses it
 	// to re-refine incrementally (minimizeSeeded) instead of refining from
 	// the trivial partition. Read-only after construction.
-	quotSeed *pendingPart
+	quotSeed *quotientSeed
 
 	// derived caches the partition tables; buildMu serializes their
 	// (re)construction so concurrent evaluators build them once.
@@ -166,6 +166,19 @@ type pendingPart struct {
 	n   int
 }
 
+// quotientSeed is a Minimize block map renamed over the kept worlds of a
+// restriction. dirty, when non-nil, records per seed block whether the
+// restriction disturbed its modal environment — some world of one of its
+// members' view classes was removed — and is only computed when the caller
+// declared the seed exact (RestrictOptions.SeedBlocksExact): minimizeSeeded
+// then narrows its compose pass to the disturbed region, and may skip it
+// entirely when nothing was disturbed.
+type quotientSeed struct {
+	ids   []int32
+	n     int
+	dirty []bool
+}
+
 // reachSeed is a pre-announcement reachability partition renamed over the
 // kept worlds. Removing worlds can only disconnect, never connect, so the
 // true components of the restricted model refine the seed exactly within
@@ -188,6 +201,19 @@ type derived struct {
 	mu    sync.RWMutex
 	reach map[string]*partition // group key -> G-reachability components
 	joint map[string]*partition // group key -> common refinement of views
+
+	// In-flight build registries: per-group single-flight, so concurrent
+	// cold evaluators (an EvalBatch fan-out with no warm-up) build each
+	// group partition exactly once and the rest wait for the result.
+	reachFlight map[string]*partFlight
+	jointFlight map[string]*partFlight
+}
+
+// partFlight is one in-flight group-partition build: waiters block on done
+// and read p afterwards (p is written before done is closed).
+type partFlight struct {
+	done chan struct{}
+	p    *partition
 }
 
 // TemporalSemantics evaluates temporal operators over a model whose worlds
@@ -558,25 +584,68 @@ func (m *Model) groupKey(dst []byte, agents []int) []byte {
 // components are built from scratch over the whole model.
 func (m *Model) reachPartition(t *derived, agents []int, keyBuf []byte) *partition {
 	key := m.groupKey(keyBuf[:0], agents)
+	// Warm fast path, kept free of the single-flight closure: fixed-point
+	// iteration re-reads the memoized partition once per step.
 	t.mu.RLock()
 	p := t.reach[string(key)]
 	t.mu.RUnlock()
 	if p != nil {
 		return p
 	}
-	if seed, ok := m.inheritedReach[string(key)]; ok {
-		p = m.reachFromSeed(t, agents, seed)
-	} else {
-		p = m.reachScratch(t, agents)
+	return singleFlight(t, key, t.reach, &t.reachFlight, func() *partition {
+		if seed, ok := m.inheritedReach[string(key)]; ok {
+			return m.reachFromSeed(t, agents, seed)
+		}
+		return m.reachScratch(t, agents)
+	})
+}
+
+// singleFlight resolves one group partition through its memo map with an
+// in-flight registry: the first caller for a key builds (outside the lock),
+// later callers for the same key wait on the build instead of duplicating
+// it. cache and the flight registry are guarded by t.mu; callers check the
+// cache's read fast path themselves before paying for the build closure.
+// A panicking build unregisters its flight and wakes the waiters with a
+// nil result, so they retry (one of them re-runs the build and surfaces
+// the panic) instead of blocking forever on a wedged key.
+func singleFlight(t *derived, key []byte, cache map[string]*partition, flights *map[string]*partFlight, build func() *partition) *partition {
+	for {
+		t.mu.Lock()
+		if p := cache[string(key)]; p != nil {
+			t.mu.Unlock()
+			return p
+		}
+		if fl := (*flights)[string(key)]; fl != nil {
+			t.mu.Unlock()
+			<-fl.done
+			if fl.p != nil {
+				return fl.p
+			}
+			continue // the builder panicked; retry (and maybe rebuild)
+		}
+		fl := &partFlight{done: make(chan struct{})}
+		if *flights == nil {
+			*flights = make(map[string]*partFlight)
+		}
+		(*flights)[string(key)] = fl
+		t.mu.Unlock()
+
+		var p *partition
+		func() {
+			defer func() {
+				t.mu.Lock()
+				if p != nil {
+					cache[string(key)] = p
+				}
+				delete(*flights, string(key))
+				t.mu.Unlock()
+				fl.p = p
+				close(fl.done)
+			}()
+			p = build()
+		}()
+		return p
 	}
-	t.mu.Lock()
-	if q := t.reach[string(key)]; q != nil {
-		p = q // another evaluator won the race; keep one copy
-	} else {
-		t.reach[string(key)] = p
-	}
-	t.mu.Unlock()
-	return p
 }
 
 // reachScratch builds the G-reachability components with one union-find
@@ -720,9 +789,10 @@ func (m *Model) jointPartition(t *derived, agents []int, keyBuf []byte) *partiti
 	if p != nil {
 		return p
 	}
-	if pp, ok := m.inheritedJoint[string(key)]; ok {
-		p = newPartition(pp.ids, pp.n)
-	} else {
+	return singleFlight(t, key, t.joint, &t.jointFlight, func() *partition {
+		if pp, ok := m.inheritedJoint[string(key)]; ok {
+			return newPartition(pp.ids, pp.n)
+		}
 		m.ensureParts(t, agents)
 		ids := make([]int32, m.numWorlds)
 		p0 := t.parts[agents[0]].Load()
@@ -745,16 +815,8 @@ func (m *Model) jointPartition(t *derived, agents []int, keyBuf []byte) *partiti
 			}
 			n = int(next)
 		}
-		p = newPartition(ids, n)
-	}
-	t.mu.Lock()
-	if q := t.joint[string(key)]; q != nil {
-		p = q
-	} else {
-		t.joint[string(key)] = p
-	}
-	t.mu.Unlock()
-	return p
+		return newPartition(ids, n)
+	})
 }
 
 // everyoneInto computes E_G(phi) = ∧_a K_a(phi) into dst (overwritten).
@@ -1027,6 +1089,15 @@ type RestrictOptions struct {
 	// of the worlds yields a correct (exact) Minimize; seeds far from the
 	// true quotient merely refine longer.
 	SeedBlocks []int
+	// SeedBlocksExact declares that SeedBlocks is exactly this model's own
+	// coarsest quotient — a fresh Minimize block map, not a chain-composed
+	// or arbitrary partition. It lets the restriction record which seed
+	// blocks the announcement disturbed (touched-block tracking), so the
+	// submodel's Minimize can bound its merge-finding compose pass to the
+	// disturbed region instead of re-minimizing the whole quotient. With an
+	// inexact seed the flags would be unsound; leave it false and Minimize
+	// stays exact via the full compose pass.
+	SeedBlocksExact bool
 }
 
 // DefaultRestrictOptions inherits joint views and reachability seeds — the
@@ -1056,11 +1127,16 @@ func (m *Model) Restrict(keep *bitset.Set) *Model {
 // model through the announcement: the submodel's next Minimize (and hence
 // QuotientForEval) re-refines from the renamed old blocks instead of the
 // trivial partition, which is what makes quotient-before-eval pay inside a
-// round loop rather than only for one-shot batches. blocks must have one
-// entry per world of this model.
+// round loop rather than only for one-shot batches. blocks must be this
+// model's own Minimize block map (one entry per world); passing an
+// arbitrary or chain-composed partition instead requires RestrictOpts with
+// SeedBlocksExact left false. The exactness lets the restriction track
+// which blocks the announcement disturbed, bounding the submodel's
+// Minimize to the disturbed region.
 func (m *Model) RestrictWithQuotient(keep *bitset.Set, blocks []int) *Model {
 	opts := DefaultRestrictOptions()
 	opts.SeedBlocks = blocks
+	opts.SeedBlocksExact = true
 	return m.RestrictOpts(keep, opts)
 }
 
@@ -1121,7 +1197,7 @@ func (m *Model) RestrictOpts(keep *bitset.Set, opts RestrictOptions) *Model {
 		m.inheritReachInto(sub, old, scr)
 	}
 	if opts.SeedBlocks != nil {
-		m.seedQuotientInto(sub, old, opts.SeedBlocks)
+		m.seedQuotientInto(sub, old, opts.SeedBlocks, opts.SeedBlocksExact)
 	}
 	restrictPool.Put(scr)
 	return sub
@@ -1251,8 +1327,13 @@ func (m *Model) inheritReachInto(sub *Model, old []int, scr *restrictScratch) {
 }
 
 // seedQuotientInto renames a Minimize block map of m over the kept worlds
-// and installs it as the submodel's quotient seed.
-func (m *Model) seedQuotientInto(sub *Model, old []int, blocks []int) {
+// and installs it as the submodel's quotient seed. When the caller declared
+// the seed exact, it additionally records which surviving seed blocks the
+// restriction disturbed: a block is dirty iff some view class of one of its
+// kept members lost a world. An undisturbed block's members keep exactly
+// the modal environment they had, which is what lets minimizeSeeded skip
+// them when hunting for announcement-induced merges.
+func (m *Model) seedQuotientInto(sub *Model, old []int, blocks []int, exact bool) {
 	if len(blocks) != m.numWorlds {
 		panic(fmt.Sprintf("kripke: RestrictWithQuotient got a block map of %d entries for %d worlds",
 			len(blocks), m.numWorlds))
@@ -1273,5 +1354,38 @@ func (m *Model) seedQuotientInto(sub *Model, old []int, blocks []int) {
 		}
 		subIDs[i] = mark[b]
 	}
-	sub.quotSeed = &pendingPart{ids: subIDs, n: int(next)}
+	var dirty []bool
+	if exact {
+		dirty = make([]bool, next)
+		kept := make([]bool, m.numWorlds)
+		for _, w := range old {
+			kept[w] = true
+		}
+		var lost []bool
+		for a := 0; a < m.numAgents; a++ {
+			ids, n := m.relIDs(a)
+			if ids == nil {
+				// Discrete relation: a removed world's singleton class
+				// contains no kept world, so nothing is disturbed.
+				continue
+			}
+			if cap(lost) < n {
+				lost = make([]bool, n)
+			} else {
+				lost = lost[:n]
+				clear(lost)
+			}
+			for w, id := range ids {
+				if !kept[w] {
+					lost[id] = true
+				}
+			}
+			for i, w := range old {
+				if lost[ids[w]] {
+					dirty[subIDs[i]] = true
+				}
+			}
+		}
+	}
+	sub.quotSeed = &quotientSeed{ids: subIDs, n: int(next), dirty: dirty}
 }

@@ -135,11 +135,36 @@ func (q *Quotiented) Eval(f logic.Formula) (*bitset.Set, error) {
 	if q.block == nil {
 		return qset, nil
 	}
+	return q.expand(qset), nil
+}
+
+// expand maps a quotient-world denotation back to original-model worlds
+// through the block map.
+func (q *Quotiented) expand(qset *bitset.Set) *bitset.Set {
 	out := bitset.New(q.orig.numWorlds)
 	for w, b := range q.block {
 		if qset.Contains(b) {
 			out.Add(w)
 		}
+	}
+	return out
+}
+
+// EvalBatch evaluates a batch of formulas on the quotient with the
+// parallel fan-out of Model.EvalBatch and expands every verdict back
+// through the block map. Results are identical, set for set, to calling
+// Eval on each formula in order.
+func (q *Quotiented) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Set, error) {
+	qsets, err := q.quot.EvalBatch(fs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if q.block == nil {
+		return qsets, nil
+	}
+	out := make([]*bitset.Set, len(qsets))
+	for i, qs := range qsets {
+		out[i] = q.expand(qs)
 	}
 	return out, nil
 }

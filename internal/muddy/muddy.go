@@ -53,6 +53,9 @@ type Puzzle struct {
 	// state from scratch instead of threading it through Restrict — the
 	// ablation baseline for the incremental chain path, never the default.
 	fromScratch bool
+	// parallel is the worker count of the per-round knowledge batch
+	// (kripke.BatchWorkers semantics: 0 = one per core, 1 = serial).
+	parallel int
 }
 
 // MuddyProp returns the ground-fact name for "child i is muddy".
@@ -155,6 +158,12 @@ func (p *Puzzle) ActualWorld() (int, error) {
 // into each round's submodel) and the from-scratch ablation baseline
 // (every round rebuilds derived state on first use).
 func (p *Puzzle) SetIncremental(on bool) { p.fromScratch = !on }
+
+// SetParallel sets the worker count of the per-round knowledge batch: each
+// round evaluates the n "do you know?" formulas with kripke.EvalBatch, and
+// workers fan them out over the shared round model. 0 (the default) means
+// one worker per core; 1 forces the serial loop.
+func (p *Puzzle) SetParallel(workers int) { p.parallel = workers }
 
 // announce applies a truthful public announcement given as a world set,
 // tracking the actual world through the restriction by rank.
@@ -274,11 +283,11 @@ func (p *Puzzle) FatherTellsPrivately() error {
 	return nil
 }
 
-// knowsOwnState returns the set of worlds at which child i knows whether it
-// is muddy: K_i muddy_i ∨ K_i ¬muddy_i.
-func (p *Puzzle) knowsOwnState(i int) (*bitset.Set, error) {
+// knowsOwnState is the formula "child i knows whether it is muddy":
+// K_i muddy_i ∨ K_i ¬muddy_i.
+func knowsOwnState(i int) logic.Formula {
 	mi := logic.P(MuddyProp(i))
-	return p.model.Eval(logic.Disj(logic.K(logic.Agent(i), mi), logic.K(logic.Agent(i), logic.Neg(mi))))
+	return logic.Disj(logic.K(logic.Agent(i), mi), logic.K(logic.Agent(i), logic.Neg(mi)))
 }
 
 // RoundResult records one round of simultaneous answers.
@@ -319,14 +328,16 @@ func (p *Puzzle) Round() (RoundResult, error) {
 	if err := p.model.PrepareAgents(nil); err != nil {
 		return RoundResult{}, err
 	}
-	// knowSets[i] = worlds where child i would answer yes.
-	knowSets := make([]*bitset.Set, p.n)
+	// knowSets[i] = worlds where child i would answer yes. The n per-child
+	// formulas are independent queries against the shared round model —
+	// exactly the batch shape EvalBatch fans out across cores.
+	fs := make([]logic.Formula, p.n)
 	for i := 0; i < p.n; i++ {
-		s, err := p.knowsOwnState(i)
-		if err != nil {
-			return RoundResult{}, err
-		}
-		knowSets[i] = s
+		fs[i] = knowsOwnState(i)
+	}
+	knowSets, err := p.model.EvalBatch(fs, kripke.BatchWorkers(p.parallel))
+	if err != nil {
+		return RoundResult{}, err
 	}
 	res := RoundResult{Yes: make([]bool, p.n)}
 	for i := 0; i < p.n; i++ {
@@ -393,6 +404,11 @@ type SimOptions struct {
 	// evaluation is exactly the workload the inherited reachability seeds
 	// accelerate.
 	TrackCommon bool
+	// Parallel is the worker count of the per-round knowledge batch
+	// (kripke.BatchWorkers semantics): 0, the zero value, fans the n
+	// per-child evaluations out with one worker per core; 1 forces the
+	// serial loop; larger values cap the pool.
+	Parallel int
 }
 
 // Simulate runs the puzzle with n children, the listed ones muddy, under
@@ -410,6 +426,7 @@ func SimulateOpts(n int, muddy []int, mode AnnouncementMode, maxRounds int, opts
 		return SimResult{}, err
 	}
 	p.SetIncremental(opts.Incremental)
+	p.SetParallel(opts.Parallel)
 	switch mode {
 	case NoAnnouncement:
 	case PublicAnnouncement:

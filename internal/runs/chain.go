@@ -61,6 +61,16 @@ func (c *Chain) Eval(f logic.Formula) (*bitset.Set, error) {
 	return c.view.Eval(f)
 }
 
+// EvalBatch evaluates a batch of formulas on the current link's model with
+// the parallel fan-out of kripke.EvalBatch (verdicts mapped back through
+// the quotient when one is active). A link's verdict batch — the
+// alternating-knowledge tower plus the common-knowledge check of the
+// delivery replay — is a set of independent queries against one shared
+// link model, the batch shape the fan-out accelerates.
+func (c *Chain) EvalBatch(fs []logic.Formula, opts ...kripke.BatchOption) ([]*bitset.Set, error) {
+	return c.view.EvalBatch(fs, opts...)
+}
+
 // Holds reports whether f holds at the marked world of the current model.
 func (c *Chain) Holds(f logic.Formula) (bool, error) {
 	if c.marked < 0 {

@@ -213,11 +213,33 @@ func (pm *PointModel) EvalTemporal(m *kripke.Model, f logic.Formula, rec func(lo
 }
 
 // gfp computes the greatest fixed point of X ↦ step(phi ∧ X), the shape
-// shared by C^ε, C^⋄ and C^T (Sections 11–12 and Appendix A).
+// shared by C^ε, C^⋄ and C^T (Sections 11–12 and Appendix A). This is the
+// temporal sibling of the kripke worklist shape check νX.op_G(φ ∧ X): the
+// timeline steps have no support form to iterate incrementally (their
+// "support" is the per-run suffix structure), but the invariant parts of
+// the loop are hoisted all the same — the conjunction φ ∧ X runs in a
+// reused scratch set instead of allocating per iteration, and the
+// know-timelines behind step are memoized on the step's input: step is a
+// pure function of φ ∧ X, so when that set repeats — always the case on
+// the convergence-confirming iteration, since X_{k+1} = step(φ ∧ X_k) —
+// the previous output is the fixed point and the whole per-agent
+// know-timeline recomputation is skipped.
 func (pm *PointModel) gfp(phi *bitset.Set, step func(*bitset.Set) *bitset.Set) (*bitset.Set, error) {
-	cur := bitset.NewFull(pm.NumWorlds())
-	for i := 0; i <= pm.NumWorlds()+1; i++ {
-		next := step(bitset.And(phi, cur))
+	W := pm.NumWorlds()
+	cur := bitset.NewFull(W)
+	x := bitset.New(W)    // reused scratch for φ ∧ X
+	prev := bitset.New(W) // step input of the previous iteration
+	for i := 0; i <= W+1; i++ {
+		x.Copy(phi)
+		x.And(cur)
+		if i > 0 && x.Equal(prev) {
+			// step(x) would recompute the previous iteration's output,
+			// which is cur: the fixed point is confirmed without another
+			// pass over the know-timelines.
+			return cur, nil
+		}
+		prev.Copy(x)
+		next := step(x)
 		if next.Equal(cur) {
 			return cur, nil
 		}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench_parallel.sh — measure the parallel evaluation fan-out.
+#
+# Runs the batch-shaped benchmarks (the EvalBatch ablation, the muddy
+# scaling simulation, the full experiment suite) twice — pinned to
+# GOMAXPROCS=1 and at the machine's full core count — and writes a
+# markdown speedup table to PARALLEL_SPEEDUP.md (override with
+# PARALLEL_MD). Advisory by design: the table is published as a CI
+# artifact so the multi-core speedup stays visible, while the blocking
+# regression gate (bench.sh --compare) runs pinned and deterministic.
+#
+# Usage: scripts/bench_parallel.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_COUNT="${BENCH_COUNT:-3}"
+OUT="${PARALLEL_MD:-PARALLEL_SPEEDUP.md}"
+PATTERN='^(BenchmarkAblationBatchEval|BenchmarkAblationMuddyScaling|BenchmarkAllExperiments)$'
+
+cores="$(go env GOMAXPROCS 2>/dev/null || true)"
+cores="${cores:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?')}"
+
+# best_of RAWFILE — print "name ns_op" keeping the fastest of the counted runs.
+best_of() {
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = ""
+        for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+        if (ns == "") next
+        if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+        if (!(name in order)) { order[name] = ++n; names[n] = name }
+    }
+    END { for (i = 1; i <= n; i++) print names[i], best[names[i]] }
+    ' "$1"
+}
+
+serial_raw="$(mktemp)"
+multi_raw="$(mktemp)"
+trap 'rm -f "$serial_raw" "$multi_raw"' EXIT
+
+echo "serial pass (GOMAXPROCS=1, min of $BENCH_COUNT)..."
+GOMAXPROCS=1 go test -run='^$' -bench="$PATTERN" -count="$BENCH_COUNT" . | tee "$serial_raw" >/dev/null
+
+echo "multi-core pass (GOMAXPROCS unpinned, $cores cores, min of $BENCH_COUNT)..."
+go test -run='^$' -bench="$PATTERN" -count="$BENCH_COUNT" . | tee "$multi_raw" >/dev/null
+
+{
+    echo "# Parallel evaluation fan-out speedup"
+    echo
+    echo "GOMAXPROCS=1 versus all cores ($cores), min of $BENCH_COUNT runs each."
+    echo
+    echo "| benchmark | serial ns/op | parallel ns/op | speedup |"
+    echo "|---|---|---|---|"
+    join <(best_of "$serial_raw" | sort) <(best_of "$multi_raw" | sort) \
+        | awk '{ printf "| %s | %s | %s | %.2fx |\n", $1, $2, $3, ($3 + 0 > 0) ? $2 / $3 : 0 }'
+} > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"
