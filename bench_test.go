@@ -15,6 +15,7 @@ import (
 	"repro/internal/kripke"
 	"repro/internal/logic"
 	"repro/internal/muddy"
+	"repro/internal/scenario"
 )
 
 // benchExperiment runs one experiment driver repeatedly, failing the bench
@@ -343,6 +344,40 @@ func BenchmarkAblationBatchEval(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := m.EvalBatch(fs, kripke.BatchWorkers(mode.workers)); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the fault-injected scenario sweep's announcement ladder with
+// the incremental chain machinery (seeded quotient re-refinement threaded
+// through each restriction) versus from-scratch restriction. The system is
+// sampled once — the ablation measures the epistemic replay, not the
+// simulation.
+func BenchmarkAblationScenarioSweep(b *testing.B) {
+	p := scenario.Params{Seed: 1}
+	rg, err := scenario.RegimeByKey(p, "bounded")
+	if err != nil {
+		b.Fatal(err)
+	}
+	built, err := scenario.Build(p, rg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{{"incremental", true}, {"scratch", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				steps, err := built.Ladder(p, mode.incremental)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(steps) == 0 {
+					b.Fatal("empty ladder")
 				}
 			}
 		})

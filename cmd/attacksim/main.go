@@ -8,9 +8,17 @@
 // from-scratch restriction path (the ablation baseline); -chain=false
 // skips the replay.
 //
+// -inject switches the system from exhaustive channel branching to the
+// seeded fault-injection engine: message losses are drawn from a fault
+// plan with the given drop probability (-seed seeds the plan, -runs sets
+// the samples per configuration), and the same rule searches run over the
+// sampled system. Equal seeds reproduce the output byte for byte;
+// -parallel controls the chain replay's evaluation workers.
+//
 // Usage:
 //
 //	attacksim -budget 4 -horizon 10
+//	attacksim -inject 0.5 -seed 1 -runs 40 -parallel -1
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"os"
 
 	"repro/internal/attack"
+	"repro/internal/faults"
+	"repro/internal/kripke"
 	"repro/internal/logic"
 	"repro/internal/protocol"
 	"repro/internal/runs"
@@ -38,18 +48,36 @@ func run(args []string) error {
 	chain := fs.Bool("chain", true, "replay the delivery announcement chain")
 	incremental := fs.Bool("incremental", true,
 		"thread quotient block maps and reachability seeds through the chain's restrictions; false forces the from-scratch ablation path")
+	seed := fs.Int64("seed", 1, "fault-plan seed for -inject; equal seeds reproduce the output byte for byte")
+	inject := fs.Float64("inject", 0,
+		"sample the handshake under a fault plan with this drop probability instead of exhaustive channel branching (0 = exhaustive)")
+	samples := fs.Int("runs", 40, "sampled runs per initial configuration when -inject is set")
+	parallel := fs.Int("parallel", -1,
+		"evaluation workers for the chain replay (0 forces the serial loop, <0 uses one worker per core)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	s, err := attack.Build(*budget, runs.Time(*horizon))
+	var s *attack.System
+	var err error
+	if *inject > 0 {
+		plan := &faults.Plan{Seed: *seed, Delay: faults.Fixed{D: 1}, Drop: *inject}
+		s, err = attack.BuildInjected(*budget, runs.Time(*horizon), plan, *samples)
+	} else {
+		s, err = attack.Build(*budget, runs.Time(*horizon))
+	}
 	if err != nil {
 		return err
 	}
 	never := func(protocol.LocalView) bool { return false }
 	pm := s.Sys.Model(runs.CompleteHistoryView, s.Interp(never, never))
 
-	fmt.Printf("coordinated attack: budget %d, horizon %d, %d runs\n\n", *budget, *horizon, len(s.Sys.Runs))
+	if *inject > 0 {
+		fmt.Printf("coordinated attack: budget %d, horizon %d, %d runs (injected: drop %g, seed %d, %d samples/config)\n\n",
+			*budget, *horizon, len(s.Sys.Runs), *inject, *seed, *samples)
+	} else {
+		fmt.Printf("coordinated attack: budget %d, horizon %d, %d runs\n\n", *budget, *horizon, len(s.Sys.Runs))
+	}
 	fmt.Printf("%-24s %-12s %-16s\n", "run", "deliveries", "knowledge depth")
 	for ri, r := range s.Sys.Runs {
 		if r.Init[attack.GeneralA] != "go" {
@@ -88,7 +116,7 @@ func run(args []string) error {
 	fmt.Printf("\nC intent holds at %d of %d points\n", set.Count(), pm.NumWorlds())
 
 	if *chain {
-		if err := replayChain(s, *incremental); err != nil {
+		if err := replayChain(s, *incremental, kripke.WorkersFromFlag(*parallel)); err != nil {
 			return err
 		}
 	}
@@ -111,7 +139,7 @@ func run(args []string) error {
 
 // replayChain runs the delivery announcement chain on the all-delivered
 // run and prints one row per link.
-func replayChain(s *attack.System, incremental bool) error {
+func replayChain(s *attack.System, incremental bool, workers int) error {
 	never := func(protocol.LocalView) bool { return false }
 	pm := s.Sys.Model(runs.CompleteHistoryView, s.DeliveryInterp(never, never))
 	best := s.BestChainRun()
@@ -120,7 +148,7 @@ func replayChain(s *attack.System, incremental bool) error {
 		mode = "from-scratch"
 	}
 	fmt.Printf("\ndelivery announcement chain (run %s, %s restrictions):\n", best, mode)
-	steps, err := s.ReplayDeliveryChain(pm, best, incremental)
+	steps, err := s.ReplayDeliveryChain(pm, best, incremental, kripke.BatchWorkers(workers))
 	if err != nil {
 		return err
 	}

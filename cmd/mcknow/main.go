@@ -9,6 +9,10 @@
 // The formula batch is evaluated with the parallel fan-out of
 // kripke.EvalBatch (-parallel=0 forces the serial loop, <0 one worker per
 // core) and, under -quotient, on the bisimulation quotient of the model.
+// -seed submits the batch in a seeded permuted order and prints results in
+// the order given — verdicts are order-independent, so equal seeds (and
+// in fact all seeds) reproduce the output byte for byte; varying the seed
+// exercises exactly that property.
 //
 // Model file format:
 //
@@ -31,9 +35,25 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/bitset"
+	"repro/internal/faults"
 	"repro/internal/kripke"
 	"repro/internal/logic"
 )
+
+// seededPerm returns a deterministic Fisher-Yates permutation of [0, n).
+func seededPerm(seed int64, n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	st := faults.NewStream(seed)
+	for i := n - 1; i > 0; i-- {
+		j := st.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
 
 type modelFile struct {
 	Agents            int                   `json:"agents"`
@@ -55,6 +75,8 @@ func run(args []string) error {
 	quotient := fs.String("quotient", "auto", "evaluate the batch on the bisimulation quotient: auto, on, off")
 	parallel := fs.Int("parallel", -1,
 		"workers for the formula batch: <0 = one per core, 0 = serial, n = n workers")
+	seed := fs.Int64("seed", 1,
+		"seed of the batch submission order; verdicts are order-independent, so output is identical for every seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,7 +122,21 @@ func run(args []string) error {
 		}
 		formulas = append(formulas, f)
 	}
-	sets, err := q.EvalBatch(formulas, kripke.BatchWorkers(kripke.WorkersFromFlag(*parallel)))
+	// Submit the batch in a seeded permuted order and map the verdicts
+	// back: batch evaluation is order-independent, so the printed output
+	// does not depend on -seed — the shuffle exists to exercise that.
+	perm := seededPerm(*seed, len(formulas))
+	shuffled := make([]logic.Formula, len(formulas))
+	for i, j := range perm {
+		shuffled[j] = formulas[i]
+	}
+	shuffledSets, err := q.EvalBatch(shuffled, kripke.BatchWorkers(kripke.WorkersFromFlag(*parallel)))
+	sets := make([]*bitset.Set, len(formulas))
+	if err == nil {
+		for i, j := range perm {
+			sets[i] = shuffledSets[j]
+		}
+	}
 	if err != nil {
 		// Re-attribute the batch error to its formula: EvalBatch reports
 		// the smallest failing index's error, which is the first formula

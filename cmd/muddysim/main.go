@@ -15,7 +15,8 @@
 // knowledge of m after every round; -parallel controls the worker pool
 // that fans each round's n per-child knowledge checks out over the shared
 // round model (-parallel=0 forces the serial loop, <0 uses one worker per
-// core).
+// core). -muddy random draws the muddy set from the seeded stream of
+// -seed: equal seeds reproduce the output byte for byte.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/kripke"
 	"repro/internal/muddy"
 )
@@ -42,7 +44,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("muddysim", flag.ContinueOnError)
 	n := fs.Int("n", 5, "number of children (up to 18)")
-	muddyArg := fs.String("muddy", "0,1", "comma-separated indices of muddy children")
+	muddyArg := fs.String("muddy", "0,1",
+		"comma-separated indices of muddy children, or 'random' for a seeded draw (-seed)")
+	seed := fs.Int64("seed", 1, "seed of the -muddy random draw; equal seeds reproduce the output byte for byte")
 	mode := fs.String("mode", "public", "announcement mode: public, none, private")
 	rounds := fs.Int("rounds", 0, "round budget (default n+2)")
 	timing := fs.Bool("time", true, "print per-round build vs eval timing")
@@ -60,7 +64,21 @@ func run(args []string) error {
 	}
 
 	var muddySet []int
-	if *muddyArg != "" {
+	if *muddyArg == "random" {
+		// Each child is muddy with probability 1/2 off the seeded stream;
+		// the puzzle needs at least one muddy child, so an empty draw
+		// muddies a seeded pick instead.
+		st := faults.NewStream(*seed)
+		for c := 0; c < *n; c++ {
+			if st.Bool(0.5) {
+				muddySet = append(muddySet, c)
+			}
+		}
+		if len(muddySet) == 0 {
+			muddySet = []int{st.Intn(*n)}
+		}
+		fmt.Printf("seeded muddy set (seed %d): %v\n", *seed, muddySet)
+	} else if *muddyArg != "" {
 		for _, part := range strings.Split(*muddyArg, ",") {
 			c, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/faults"
+	"repro/internal/kripke"
 	"repro/internal/logic"
 	"repro/internal/protocol"
 	"repro/internal/runs"
@@ -118,6 +120,28 @@ func Build(budget int, horizon runs.Time) (*System, error) {
 	}
 	sys, err := protocol.Generate(handshakeProtocols(), protocol.Unreliable{Delay: 1}, cfgs,
 		horizon, protocol.Options{MaxMessagesPerRun: budget})
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return &System{Sys: sys, Budget: budget}, nil
+}
+
+// BuildInjected samples the coordinated-attack system under a seeded fault
+// plan instead of branching exhaustively over the unreliable channel: the
+// same handshake, but each run's message fates — delay, loss, duplication,
+// crash windows — are drawn from the plan's streams by the virtual-clock
+// simulation engine. The sampled system supports the same rule searches and
+// knowledge checks as the generated one, which makes the unattainability
+// results reproducible by injection: any plan with loss in it keeps every
+// correct rule pair from ever attacking, exactly as Corollary 6 demands of
+// the exhaustive system. Equal arguments produce a byte-identical system.
+func BuildInjected(budget int, horizon runs.Time, plan *faults.Plan, samplesPerConfig int) (*System, error) {
+	cfgs := []protocol.Config{
+		{Name: "go", Init: []string{"go", ""}, Clock: []int{0, 0}},
+		{Name: "idle", Init: []string{"", ""}, Clock: []int{0, 0}},
+	}
+	sys, err := protocol.SampleSystem(handshakeProtocols(), plan, cfgs,
+		samplesPerConfig, horizon, protocol.Options{MaxMessagesPerRun: budget})
 	if err != nil {
 		return nil, fmt.Errorf("attack: %w", err)
 	}
@@ -355,8 +379,9 @@ type ChainStep struct {
 // stops before the first announcement that would be untruthful there.
 // incremental selects the seeded restriction path of runs.Chain; the
 // verdicts are identical either way (pinned by the package tests), only
-// the per-link cost differs.
-func (s *System) ReplayDeliveryChain(pm *runs.PointModel, runName string, incremental bool) ([]ChainStep, error) {
+// the per-link cost differs. Trailing kripke.BatchOptions (e.g.
+// kripke.BatchWorkers) configure each link's batch evaluation.
+func (s *System) ReplayDeliveryChain(pm *runs.PointModel, runName string, incremental bool, opts ...kripke.BatchOption) ([]ChainStep, error) {
 	w, err := pm.WorldOf(runName, s.Sys.Horizon)
 	if err != nil {
 		return nil, err
@@ -398,7 +423,7 @@ func (s *System) ReplayDeliveryChain(pm *runs.PointModel, runName string, increm
 			fs = append(fs, f)
 		}
 		fs = append(fs, logic.C(g, logic.P(IntentProp)))
-		sets, err := ch.EvalBatch(fs)
+		sets, err := ch.EvalBatch(fs, opts...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,360 @@
+// Package faults defines seeded fault plans for the fault-injection
+// engine: per-channel delay distributions, message drop and duplication
+// probabilities, process crash/recovery windows, and bounded per-process
+// clock drift, all derived from a single int64 seed.
+//
+// Reproducibility is the design constraint. Every random draw comes from a
+// splitmix64 stream (implemented here, not math/rand, so the sequence is
+// pinned by this package rather than by the Go release), and every stream
+// is derived by hashing the plan seed with the identity of the consumer —
+// the run index, the kind of draw, and the process index where relevant.
+// Streams are therefore order-independent across runs and across
+// processes: sampling run 7 never consumes state that run 8 depends on, so
+// runs can be generated in any order (or in parallel) and still come out
+// byte-identical for a given seed.
+//
+// The fault classes map onto the communication regimes of Halpern & Moses:
+// a plan with a degenerate delay distribution and no faults is the
+// paper's reliable synchronous channel; widening the delay distribution
+// produces the bounded-uncertainty regime of Section 8 (R2–D2); positive
+// drop probability realizes "communication is not guaranteed" (NG1/NG2);
+// clock drift bounds realize the ε-synchronization premise of the
+// timestamped variants of Section 12; crash windows model processors that
+// stop observing, the failure mode under which even eventual common
+// knowledge is lost.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/runs"
+)
+
+// Stream is a deterministic splitmix64 random stream.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns the stream rooted at the given seed, hashed the same
+// way a Plan's seed is, so a bare CLI seed and a fault plan derive
+// unrelated draws from equal integers.
+func NewStream(seed int64) *Stream {
+	return &Stream{state: mix(uint64(seed), 0x5eed)}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n); n must be positive.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("faults: Intn on nonpositive bound")
+	}
+	// The modulo bias over 2^64 is far below anything a simulation of
+	// this size can observe, and avoiding it would cost loop iterations
+	// whose count depends on the draw — worse for reproducibility
+	// reasoning than the bias.
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (p <= 0 never, p >= 1 always).
+func (s *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// mix folds a label into a hash state (splitmix64's finalizer as the
+// mixing function).
+func mix(h, label uint64) uint64 {
+	h ^= label + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	z := h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DelayDist is a distribution of message delivery delays, in ticks.
+type DelayDist interface {
+	// Sample draws a delay >= 1 from the stream.
+	Sample(s *Stream) int
+	// Max returns the largest delay the distribution can produce, or -1
+	// if it is unbounded below the horizon (the asynchronous regime).
+	Max() int
+	String() string
+}
+
+// Fixed delivers after exactly D ticks — the known-delay reliable channel.
+type Fixed struct{ D int }
+
+// Sample implements DelayDist.
+func (f Fixed) Sample(*Stream) int { return f.D }
+
+// Max implements DelayDist.
+func (f Fixed) Max() int { return f.D }
+
+func (f Fixed) String() string { return fmt.Sprintf("fixed:%d", f.D) }
+
+// Uniform delivers after a uniform delay in [Min, Max] — bounded delivery
+// with uncertain timing, the R2–D2 regime.
+type Uniform struct{ Min, MaxD int }
+
+// Sample implements DelayDist.
+func (u Uniform) Sample(s *Stream) int { return u.Min + s.Intn(u.MaxD-u.Min+1) }
+
+// Max implements DelayDist.
+func (u Uniform) Max() int { return u.MaxD }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform:%d-%d", u.Min, u.MaxD) }
+
+// Unbounded delivers after a delay with no a-priori bound: the sampled
+// delay is uniform in [1, Span] but the distribution advertises no
+// maximum, realizing the asynchronous regime (delivery guaranteed,
+// delivery time unbounded) within a finite observation window.
+type Unbounded struct{ Span int }
+
+// Sample implements DelayDist.
+func (u Unbounded) Sample(s *Stream) int { return 1 + s.Intn(u.Span) }
+
+// Max implements DelayDist.
+func (u Unbounded) Max() int { return -1 }
+
+func (u Unbounded) String() string { return fmt.Sprintf("unbounded:%d", u.Span) }
+
+// ParseDelayDist parses the CLI syntax for delay distributions:
+// "fixed:D", "uniform:MIN-MAX", or "unbounded:SPAN".
+func ParseDelayDist(s string) (DelayDist, error) {
+	kind, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("faults: bad delay distribution %q (want kind:args)", s)
+	}
+	switch kind {
+	case "fixed":
+		d, err := strconv.Atoi(arg)
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("faults: bad fixed delay %q (want fixed:D with D >= 1)", s)
+		}
+		return Fixed{D: d}, nil
+	case "uniform":
+		lo, hi, ok := strings.Cut(arg, "-")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad uniform delay %q (want uniform:MIN-MAX)", s)
+		}
+		min, err1 := strconv.Atoi(lo)
+		max, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || min < 1 || max < min {
+			return nil, fmt.Errorf("faults: bad uniform delay %q (want 1 <= MIN <= MAX)", s)
+		}
+		return Uniform{Min: min, MaxD: max}, nil
+	case "unbounded":
+		span, err := strconv.Atoi(arg)
+		if err != nil || span < 1 {
+			return nil, fmt.Errorf("faults: bad unbounded delay %q (want unbounded:SPAN with SPAN >= 1)", s)
+		}
+		return Unbounded{Span: span}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown delay distribution kind %q", kind)
+	}
+}
+
+// CrashSpec describes process crash faults: with probability P a process
+// crashes once per run, at a uniform time in [0, horizon], staying down
+// for a uniform duration in [MinDown, MaxDown] ticks before recovering. A
+// crashed process neither steps its protocol nor receives messages;
+// deliveries into the window are lost. It keeps its pre-crash memory on
+// recovery.
+type CrashSpec struct {
+	P       float64
+	MinDown int
+	MaxDown int
+}
+
+// Plan is a complete seeded fault plan. The zero value of every fault
+// field is the fault-free setting; Delay is required.
+type Plan struct {
+	// Seed is the root of every stream the plan derives.
+	Seed int64
+	// Delay is the per-message delivery-delay distribution.
+	Delay DelayDist
+	// Drop is the per-message loss probability.
+	Drop float64
+	// Dup is the per-message duplication probability (one extra copy with
+	// an independently sampled delay).
+	Dup float64
+	// Crash describes per-process crash/recovery windows.
+	Crash CrashSpec
+	// Drift bounds per-process clock drift: every sampled clock reading
+	// stays within Drift ticks of real time (0 = perfectly synchronized).
+	Drift int
+}
+
+// Validate reports a configuration error, if any.
+func (p *Plan) Validate() error {
+	if p.Delay == nil {
+		return fmt.Errorf("faults: plan has no delay distribution")
+	}
+	for name, prob := range map[string]float64{"drop": p.Drop, "dup": p.Dup, "crash": p.Crash.P} {
+		if prob < 0 || prob > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0, 1]", name, prob)
+		}
+	}
+	if p.Crash.P > 0 && (p.Crash.MinDown < 1 || p.Crash.MaxDown < p.Crash.MinDown) {
+		return fmt.Errorf("faults: crash window [%d, %d] invalid (want 1 <= min <= max)",
+			p.Crash.MinDown, p.Crash.MaxDown)
+	}
+	if p.Drift < 0 {
+		return fmt.Errorf("faults: negative drift bound %d", p.Drift)
+	}
+	return nil
+}
+
+// Stream labels, mixed into the seed so the per-run draw kinds never share
+// a stream.
+const (
+	labelMessages = iota + 1
+	labelClock
+	labelCrash
+	labelScenario
+)
+
+// Derive returns the deterministic stream identified by the given labels
+// under this plan's seed. Scenario layers use it to draw their own
+// reproducible values (initiation jitter, sampled configurations) from the
+// same root seed; the engine's own streams are derived under the nested
+// (runIdx, kind) labels of ForRun, so flat Derive labels never replay
+// them.
+func (p *Plan) Derive(labels ...uint64) *Stream {
+	h := mix(uint64(p.Seed), 0x5eed)
+	for _, l := range labels {
+		h = mix(h, l)
+	}
+	return &Stream{state: h}
+}
+
+// RunFaults is the per-run view of a plan: the streams and sampled
+// windows one simulated run consumes. Each run index gets independent
+// streams, so runs may be generated in any order.
+type RunFaults struct {
+	plan   *Plan
+	runIdx int
+	msgs   Stream
+	crash  []window // per process, sampled lazily
+	horiz  runs.Time
+	n      int
+}
+
+type window struct {
+	sampled    bool
+	crashed    bool
+	start, end runs.Time // down during [start, end]
+}
+
+// ForRun returns the fault view of one simulated run with n processes
+// observed up to the horizon.
+func (p *Plan) ForRun(runIdx, n int, horizon runs.Time) *RunFaults {
+	rf := &RunFaults{
+		plan:   p,
+		runIdx: runIdx,
+		msgs:   Stream{state: mix(mix(uint64(p.Seed), 0x5eed), mix(uint64(runIdx), labelMessages))},
+		crash:  make([]window, n),
+		horiz:  horizon,
+		n:      n,
+	}
+	return rf
+}
+
+// MessageFate is the sampled fate of one sent message.
+type MessageFate struct {
+	// Delay is the delivery delay in ticks (meaningful when !Dropped).
+	Delay int
+	// Dropped marks the message as lost by the channel.
+	Dropped bool
+	// DupDelay is the delay of a duplicated copy, or 0 when the message
+	// was not duplicated.
+	DupDelay int
+}
+
+// SampleMessage draws the fate of the next sent message. Draws are
+// consumed in send order from the run's message stream, which is
+// deterministic because the engine visits sends in a fixed order.
+func (rf *RunFaults) SampleMessage() MessageFate {
+	var f MessageFate
+	f.Delay = rf.plan.Delay.Sample(&rf.msgs)
+	f.Dropped = rf.msgs.Bool(rf.plan.Drop)
+	if rf.msgs.Bool(rf.plan.Dup) {
+		f.DupDelay = rf.plan.Delay.Sample(&rf.msgs)
+	}
+	return f
+}
+
+// CrashWindow returns process p's crash window in this run, sampling it on
+// first use from the (runIdx, p)-derived stream.
+func (rf *RunFaults) CrashWindow(p int) (start, end runs.Time, crashed bool) {
+	w := &rf.crash[p]
+	if !w.sampled {
+		w.sampled = true
+		s := Stream{state: mix(mix(mix(uint64(rf.plan.Seed), 0x5eed), mix(uint64(rf.runIdx), labelCrash)), uint64(p))}
+		if s.Bool(rf.plan.Crash.P) {
+			w.crashed = true
+			w.start = runs.Time(s.Intn(int(rf.horiz) + 1))
+			down := rf.plan.Crash.MinDown + s.Intn(rf.plan.Crash.MaxDown-rf.plan.Crash.MinDown+1)
+			w.end = w.start + runs.Time(down) - 1
+		}
+	}
+	return w.start, w.end, w.crashed
+}
+
+// Down reports whether process p is crashed at time t in this run.
+func (rf *RunFaults) Down(p int, t runs.Time) bool {
+	start, end, crashed := rf.CrashWindow(p)
+	return crashed && t >= start && t <= end
+}
+
+// ClockReadings samples process p's drifted clock for this run: readings
+// for times 0..horizon, each within the plan's Drift bound of real time
+// plus the base offset, monotone nondecreasing (per-tick rate in {0, 1,
+// 2}). With Drift == 0 the readings are exactly real time plus base.
+func (rf *RunFaults) ClockReadings(p int, base int) []int {
+	span := int(rf.horiz) + 1
+	readings := make([]int, span)
+	if rf.plan.Drift == 0 {
+		for t := range readings {
+			readings[t] = t + base
+		}
+		return readings
+	}
+	s := Stream{state: mix(mix(mix(uint64(rf.plan.Seed), 0x5eed), mix(uint64(rf.runIdx), labelClock)), uint64(p))}
+	d := rf.plan.Drift
+	off := s.Intn(2*d+1) - d
+	for t := 0; t < span; t++ {
+		readings[t] = t + base + off
+		if t+1 < span {
+			// The clock runs at rate 0, 1 or 2 for the next tick; the
+			// offset random-walks within [-d, d]. Rate >= 0 keeps the
+			// readings monotone.
+			step := s.Intn(3) - 1
+			if off+step > d || off+step < -d {
+				step = -step
+			}
+			off += step
+		}
+	}
+	return readings
+}

@@ -1,0 +1,160 @@
+package protocol
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/faults"
+	"repro/internal/runs"
+	"repro/internal/simclock"
+)
+
+// SimulateRun executes the joint protocol once under the given fault plan
+// and produces the sampled run with index runIdx. Where Generate branches
+// exhaustively over a channel's delivery options, SimulateRun draws one
+// concrete fate per message — delay, loss, duplication — from the plan's
+// streams for runIdx, so each run index names one reproducible execution.
+//
+// The execution is driven by a virtual clock (internal/simclock): every
+// processor's protocol step at every tick is a scheduled timer, and the
+// clock fires timers in (deadline, scheduling) order, so the interleaving —
+// ticks ascending, processors in index order within a tick — is fixed and
+// the produced run is byte-identical for equal arguments. Sends within a
+// tick are invisible to same-tick steps (delays are >= 1 and views expose
+// only events strictly before now), matching Generate's collect-then-append
+// semantics.
+//
+// Fault semantics:
+//
+//   - A message's sampled delay places its delivery; deliveries past the
+//     horizon, sampled drops, and deliveries into the receiver's crash
+//     window are recorded as lost sends.
+//   - A duplicated message is a second event with the same payload and an
+//     independently sampled delay.
+//   - A crashed processor does not step its protocol while down; it keeps
+//     its pre-crash history on recovery. Crash windows land in the run's
+//     Meta under "crash<p>.start" / "crash<p>.end".
+//   - If the configuration has clocks, processor p's readings come from the
+//     plan's drift stream with base offset cfg.Clock[p] (exact real time
+//     plus offset when the plan has no drift).
+func SimulateRun(protos []Protocol, plan *faults.Plan, cfg Config, runIdx int, horizon runs.Time, opt Options) (*runs.Run, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(protos)
+	r := runs.NewRun(cfg.Name, n, horizon)
+	if len(cfg.Init) > 0 {
+		copy(r.Init, cfg.Init)
+	}
+	if len(cfg.Wake) > 0 {
+		copy(r.Wake, cfg.Wake)
+	}
+	rf := plan.ForRun(runIdx, n, horizon)
+	if cfg.Clock != nil {
+		for p := 0; p < n; p++ {
+			if err := r.SetClock(p, rf.ClockReadings(p, cfg.Clock[p])); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		if start, end, crashed := rf.CrashWindow(p); crashed {
+			r.Meta["crash"+strconv.Itoa(p)+".start"] = int(start)
+			r.Meta["crash"+strconv.Itoa(p)+".end"] = int(end)
+		}
+	}
+
+	clk := simclock.New(0)
+	var simErr error
+	record := func(from, to int, t runs.Time, delay int, dropped bool, payload string) {
+		at := t + runs.Time(delay)
+		if dropped || at > horizon || rf.Down(to, at) {
+			r.SendLost(from, to, t, payload)
+			return
+		}
+		r.Send(from, to, t, at, payload)
+	}
+	step := func(p int) func() {
+		return func() {
+			if simErr != nil {
+				return
+			}
+			t := runs.Time(clk.Now())
+			if t < r.Wake[p] || rf.Down(p, t) {
+				return
+			}
+			if opt.MaxMessagesPerRun > 0 && len(r.Messages) >= opt.MaxMessagesPerRun {
+				return
+			}
+			for _, o := range protos[p].Step(viewOf(r, p, t)) {
+				if o.To < 0 || o.To >= n {
+					simErr = fmt.Errorf("protocol: p%d sends to invalid destination %d", p, o.To)
+					return
+				}
+				if opt.MaxMessagesPerRun > 0 && len(r.Messages) >= opt.MaxMessagesPerRun {
+					break
+				}
+				fate := rf.SampleMessage()
+				record(p, o.To, t, fate.Delay, fate.Dropped, o.Payload)
+				if fate.DupDelay > 0 {
+					if opt.MaxMessagesPerRun > 0 && len(r.Messages) >= opt.MaxMessagesPerRun {
+						break
+					}
+					record(p, o.To, t, fate.DupDelay, false, o.Payload)
+				}
+			}
+		}
+	}
+	for t := runs.Time(0); t <= horizon; t++ {
+		for p := 0; p < n; p++ {
+			if _, err := clk.At(int64(t), step(p)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := clk.Advance(int64(horizon)); err != nil {
+		return nil, err
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+	return r, nil
+}
+
+// SampleSystem builds a run system by sampling: for every initial
+// configuration it simulates samplesPerConfig runs under the fault plan,
+// with globally unique run indices (configuration-major), then collapses
+// byte-identical samples with runs.DedupeRuns. The result approximates the
+// system of possible runs under the regime the plan encodes; with a
+// degenerate plan (fixed delay, no faults) it collapses to exactly one run
+// per configuration. Equal arguments produce a byte-identical system.
+func SampleSystem(protos []Protocol, plan *faults.Plan, cfgs []Config, samplesPerConfig int, horizon runs.Time, opt Options) (*runs.System, error) {
+	if opt.MaxRuns == 0 {
+		opt.MaxRuns = 100000
+	}
+	if samplesPerConfig < 1 {
+		return nil, fmt.Errorf("protocol: samplesPerConfig %d, want >= 1", samplesPerConfig)
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("protocol: no configurations to sample")
+	}
+	if total := len(cfgs) * samplesPerConfig; total > opt.MaxRuns {
+		return nil, fmt.Errorf("protocol: %d sampled runs exceed MaxRuns %d", total, opt.MaxRuns)
+	}
+	var all []*runs.Run
+	for ci, cfg := range cfgs {
+		for s := 0; s < samplesPerConfig; s++ {
+			runIdx := ci*samplesPerConfig + s
+			r, err := SimulateRun(protos, plan, cfg, runIdx, horizon, opt)
+			if err != nil {
+				return nil, err
+			}
+			if r.Name == "" {
+				r.Name = "run"
+			}
+			r.Name = r.Name + "#" + strconv.Itoa(runIdx)
+			all = append(all, r)
+		}
+	}
+	return runs.NewSystem(runs.DedupeRuns(all)...)
+}

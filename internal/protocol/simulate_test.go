@@ -1,0 +1,189 @@
+package protocol
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/runs"
+)
+
+// broadcastOnce sends one message to every other processor at the first
+// step after waking, then stays silent.
+func broadcastOnce(n int, payload string) Protocol {
+	return Func(func(v LocalView) []Outgoing {
+		if len(v.Sent) > 0 {
+			return nil
+		}
+		var out []Outgoing
+		for q := 0; q < n; q++ {
+			if q != v.Me {
+				out = append(out, Outgoing{To: q, Payload: payload})
+			}
+		}
+		return out
+	})
+}
+
+// chatty sends to processor 1 at every step.
+var chatty Protocol = Func(func(v LocalView) []Outgoing {
+	if v.Me != 0 {
+		return nil
+	}
+	return []Outgoing{{To: 1, Payload: "tick"}}
+})
+
+func TestSimulateMatchesGenerateOnFaultFreePlan(t *testing.T) {
+	// A degenerate plan (fixed delay, no faults) is the paper's reliable
+	// channel: the single sampled run must carry exactly the message events
+	// Generate produces under Reliable with the same delay.
+	n := 3
+	protos := []Protocol{broadcastOnce(n, "hello"), Silent, Silent}
+	cfg := Config{Name: "bcast", Init: []string{"go", "", ""}}
+	horizon := runs.Time(4)
+
+	gen, err := Generate(protos, Reliable{Delay: 2}, []Config{cfg}, horizon, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Runs) != 1 {
+		t.Fatalf("reliable generation produced %d runs, want 1", len(gen.Runs))
+	}
+
+	plan := &faults.Plan{Seed: 1, Delay: faults.Fixed{D: 2}}
+	sim, err := SimulateRun(protos, plan, cfg, 0, horizon, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Runs[0]
+	if len(sim.Messages) != len(g.Messages) {
+		t.Fatalf("simulated %d messages, generated %d", len(sim.Messages), len(g.Messages))
+	}
+	for i := range sim.Messages {
+		if sim.Messages[i] != g.Messages[i] {
+			t.Fatalf("message %d: simulated %+v, generated %+v", i, sim.Messages[i], g.Messages[i])
+		}
+	}
+}
+
+func TestSampleSystemByteIdentical(t *testing.T) {
+	n := 3
+	protos := []Protocol{broadcastOnce(n, "m"), Silent, Silent}
+	cfgs := []Config{
+		{Name: "a", Init: []string{"go", "", ""}, Clock: []int{0, 0, 0}},
+		{Name: "b", Init: []string{"go", "", ""}, Wake: []runs.Time{1, 0, 0}, Clock: []int{0, 0, 0}},
+	}
+	plan := &faults.Plan{
+		Seed:  42,
+		Delay: faults.Uniform{Min: 1, MaxD: 3},
+		Drop:  0.2, Dup: 0.2,
+		Crash: faults.CrashSpec{P: 0.3, MinDown: 1, MaxDown: 2},
+		Drift: 1,
+	}
+	build := func() *runs.System {
+		sys, err := SampleSystem(protos, plan, cfgs, 8, 6, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	s1, s2 := build(), build()
+	if len(s1.Runs) != len(s2.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(s1.Runs), len(s2.Runs))
+	}
+	for i := range s1.Runs {
+		if s1.Runs[i].Name != s2.Runs[i].Name {
+			t.Fatalf("run %d names differ: %q vs %q", i, s1.Runs[i].Name, s2.Runs[i].Name)
+		}
+		if s1.Runs[i].Fingerprint() != s2.Runs[i].Fingerprint() {
+			t.Fatalf("run %d (%s) fingerprints differ", i, s1.Runs[i].Name)
+		}
+	}
+}
+
+func TestSampleSystemDedupesFaultFreeSamples(t *testing.T) {
+	n := 2
+	protos := []Protocol{broadcastOnce(n, "m"), Silent}
+	cfgs := []Config{
+		{Name: "a", Init: []string{"go", ""}},
+		{Name: "b", Init: []string{"idle", ""}},
+	}
+	plan := &faults.Plan{Seed: 7, Delay: faults.Fixed{D: 1}}
+	sys, err := SampleSystem(protos, plan, cfgs, 5, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without randomness every sample of a configuration is identical, so
+	// the system collapses to one run per configuration.
+	if len(sys.Runs) != 2 {
+		t.Fatalf("fault-free sampling kept %d runs, want 2", len(sys.Runs))
+	}
+}
+
+func TestSimulateDropsEverythingAtProbabilityOne(t *testing.T) {
+	n := 2
+	protos := []Protocol{broadcastOnce(n, "m"), Silent}
+	plan := &faults.Plan{Seed: 5, Delay: faults.Fixed{D: 1}, Drop: 1}
+	r, err := SimulateRun(protos, plan, Config{Init: []string{"go", ""}}, 0, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Messages) == 0 {
+		t.Fatal("sender sent nothing")
+	}
+	for _, m := range r.Messages {
+		if m.Delivered() {
+			t.Fatalf("message %+v delivered under drop probability 1", m)
+		}
+	}
+}
+
+func TestSimulateCrashWindowSilencesAndLoses(t *testing.T) {
+	protos := []Protocol{chatty, Silent}
+	plan := &faults.Plan{
+		Seed:  9,
+		Delay: faults.Fixed{D: 1},
+		Crash: faults.CrashSpec{P: 1, MinDown: 2, MaxDown: 2},
+	}
+	r, err := SimulateRun(protos, plan, Config{Init: []string{"go", ""}}, 3, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		if _, ok := r.Meta["crash"+strconv.Itoa(p)+".start"]; !ok {
+			t.Fatalf("crash window for p%d missing from Meta", p)
+		}
+	}
+	s0 := runs.Time(r.Meta["crash0.start"])
+	e0 := runs.Time(r.Meta["crash0.end"])
+	s1 := runs.Time(r.Meta["crash1.start"])
+	e1 := runs.Time(r.Meta["crash1.end"])
+	for _, m := range r.Messages {
+		if m.SendTime >= s0 && m.SendTime <= e0 {
+			t.Fatalf("crashed p0 sent at t=%d inside its down window [%d, %d]", m.SendTime, s0, e0)
+		}
+		if m.Delivered() && m.RecvTime >= s1 && m.RecvTime <= e1 {
+			t.Fatalf("message delivered at t=%d inside p1's down window [%d, %d]", m.RecvTime, s1, e1)
+		}
+	}
+}
+
+func TestSimulateMessageBudget(t *testing.T) {
+	protos := []Protocol{chatty, Silent}
+	plan := &faults.Plan{Seed: 2, Delay: faults.Fixed{D: 1}}
+	r, err := SimulateRun(protos, plan, Config{Init: []string{"go", ""}}, 0, 10, Options{MaxMessagesPerRun: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Messages) != 3 {
+		t.Fatalf("budget 3 produced %d messages", len(r.Messages))
+	}
+}
+
+func TestSimulateRejectsInvalidDestination(t *testing.T) {
+	bad := Func(func(v LocalView) []Outgoing { return []Outgoing{{To: 9, Payload: "x"}} })
+	plan := &faults.Plan{Seed: 2, Delay: faults.Fixed{D: 1}}
+	if _, err := SimulateRun([]Protocol{bad}, plan, Config{}, 0, 3, Options{}); err == nil {
+		t.Fatal("invalid destination accepted")
+	}
+}

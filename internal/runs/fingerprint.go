@@ -1,0 +1,82 @@
+package runs
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Fingerprint returns a canonical encoding of the run's observable content
+// — processors, horizon, initial states, wake-up times, clock readings,
+// message events and Meta — everything except the Name. Two runs with equal
+// fingerprints are indistinguishable to every view function and every
+// interpretation, so sampled-run generators use it to collapse duplicate
+// samples. Variable-length strings are length-prefixed, which keeps the
+// encoding injective whatever bytes payloads contain.
+func (r *Run) Fingerprint() string {
+	buf := make([]byte, 0, 128)
+	appendStr := func(s string) {
+		buf = strconv.AppendInt(buf, int64(len(s)), 10)
+		buf = append(buf, '/')
+		buf = append(buf, s...)
+	}
+	buf = strconv.AppendInt(buf, int64(r.N), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(r.Horizon), 10)
+	for p := 0; p < r.N; p++ {
+		buf = append(buf, "|i="...)
+		appendStr(r.Init[p])
+		buf = append(buf, ";w="...)
+		buf = strconv.AppendInt(buf, int64(r.Wake[p]), 10)
+		if r.HasClock(p) {
+			buf = append(buf, ";c="...)
+			for t := Time(0); t <= r.Horizon; t++ {
+				buf = strconv.AppendInt(buf, int64(r.clocks[p][t]), 10)
+				buf = append(buf, ',')
+			}
+		}
+	}
+	for _, m := range r.Messages {
+		buf = append(buf, "|m="...)
+		buf = strconv.AppendInt(buf, int64(m.From), 10)
+		buf = append(buf, '>')
+		buf = strconv.AppendInt(buf, int64(m.To), 10)
+		buf = append(buf, '@')
+		buf = strconv.AppendInt(buf, int64(m.SendTime), 10)
+		buf = append(buf, '>')
+		buf = strconv.AppendInt(buf, int64(m.RecvTime), 10)
+		buf = append(buf, ':')
+		appendStr(m.Payload)
+	}
+	if len(r.Meta) > 0 {
+		keys := make([]string, 0, len(r.Meta))
+		for k := range r.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = append(buf, "|meta:"...)
+			appendStr(k)
+			buf = append(buf, '=')
+			buf = strconv.AppendInt(buf, int64(r.Meta[k]), 10)
+		}
+	}
+	return string(buf)
+}
+
+// DedupeRuns drops runs whose fingerprint duplicates an earlier run's,
+// keeping the first occurrence of each and preserving order. Sampled-run
+// systems dedupe before model construction: duplicate runs add points
+// without adding distinguishable histories, so they only inflate the model.
+func DedupeRuns(rs []*Run) []*Run {
+	seen := make(map[string]bool, len(rs))
+	out := make([]*Run, 0, len(rs))
+	for _, r := range rs {
+		fp := r.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package runs
+
+import "testing"
+
+func TestFingerprintSeparatesRuns(t *testing.T) {
+	base := func() *Run {
+		r := NewRun("r", 2, 3)
+		r.Init[0] = "go"
+		r.Send(0, 1, 0, 1, "m")
+		r.SetIdentityClock(0)
+		return r
+	}
+	a := base()
+	if got := base().Fingerprint(); got != a.Fingerprint() {
+		t.Fatal("identical runs fingerprint differently")
+	}
+	renamed := base()
+	renamed.Name = "other"
+	if renamed.Fingerprint() != a.Fingerprint() {
+		t.Fatal("Name must not enter the fingerprint")
+	}
+	for name, mutate := range map[string]func(*Run){
+		"payload": func(r *Run) { r.Messages[0].Payload = "x" },
+		"lost":    func(r *Run) { r.Messages[0].RecvTime = Lost },
+		"init":    func(r *Run) { r.Init[1] = "z" },
+		"wake":    func(r *Run) { r.Wake[1] = 1 },
+		"meta":    func(r *Run) { r.Meta["k"] = 1 },
+		"clock":   func(r *Run) { r.SetShiftedClock(0, 5) },
+		"extra":   func(r *Run) { r.Send(1, 0, 1, 2, "m") },
+	} {
+		m := base()
+		mutate(m)
+		if m.Fingerprint() == a.Fingerprint() {
+			t.Fatalf("%s change not reflected in fingerprint", name)
+		}
+	}
+	// Length-prefixing keeps concatenation ambiguities apart.
+	p := NewRun("p", 1, 0)
+	p.Init[0] = "ab"
+	q := NewRun("q", 1, 0)
+	q.Init[0] = "a"
+	q.Meta["b"] = 0
+	if p.Fingerprint() == q.Fingerprint() {
+		t.Fatal("distinct runs collide")
+	}
+}
+
+func TestDedupeRunsKeepsFirstInOrder(t *testing.T) {
+	r1 := NewRun("first", 1, 2)
+	r2 := NewRun("dup-of-first", 1, 2)
+	r3 := NewRun("distinct", 1, 2)
+	r3.Init[0] = "x"
+	out := DedupeRuns([]*Run{r1, r2, r3})
+	if len(out) != 2 || out[0] != r1 || out[1] != r3 {
+		names := make([]string, len(out))
+		for i, r := range out {
+			names[i] = r.Name
+		}
+		t.Fatalf("DedupeRuns kept %v, want [first distinct]", names)
+	}
+}

@@ -1,0 +1,59 @@
+package temporal
+
+import (
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+// Onsets computes the knowledge-onset table of φ: for every run and agent,
+// the first time K_a φ holds, or runs.Lost if the agent never learns φ
+// within the horizon. The per-run spread of these onsets is the quantity
+// the ε-common variants of Section 11 trade against: E^ε φ is attainable
+// at a point only if every agent's onset falls within an ε-window of it,
+// so a regime whose injected delays stretch the onset spread beyond ε is
+// exactly a regime that loses C^ε.
+func Onsets(pm *runs.PointModel, phi logic.Formula) ([][]runs.Time, error) {
+	set, err := pm.Eval(phi)
+	if err != nil {
+		return nil, err
+	}
+	n := pm.Sys.N
+	span := int(pm.Sys.Horizon) + 1
+	out := make([][]runs.Time, len(pm.Sys.Runs))
+	for ri := range pm.Sys.Runs {
+		out[ri] = make([]runs.Time, n)
+		for a := range out[ri] {
+			out[ri][a] = runs.Lost
+		}
+	}
+	for a := 0; a < n; a++ {
+		know := pm.KnowSet(a, set)
+		for ri := range pm.Sys.Runs {
+			for t := 0; t < span; t++ {
+				if know.Contains(ri*span + t) {
+					out[ri][a] = runs.Time(t)
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// OnsetSpread returns the gap between the earliest and latest onset of one
+// run's row, or -1 if some agent never learns the fact.
+func OnsetSpread(row []runs.Time) int {
+	lo, hi := runs.Time(-1), runs.Time(-1)
+	for _, t := range row {
+		if t == runs.Lost {
+			return -1
+		}
+		if lo < 0 || t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	return int(hi - lo)
+}

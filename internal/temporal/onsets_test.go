@@ -1,0 +1,42 @@
+package temporal
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/runs"
+)
+
+func TestOnsetsAndSpread(t *testing.T) {
+	// One delivered broadcast next to an idle run: the sender knows "sent"
+	// from the start (its "go" initialization already entails the fact), the
+	// receiver learns it when the delivery becomes visible, and nobody ever
+	// learns it in the idle run (where it is false).
+	sent := runs.NewRun("sent", 2, 5)
+	sent.Init[0] = "go"
+	sent.Send(0, 1, 0, 2, "m")
+	idle := runs.NewRun("idle", 2, 5)
+	sys, err := runs.NewSystem(sent, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := runs.Interpretation{"sent": runs.StablyTrue(runs.SentBy("m"))}
+	pm := sys.Model(runs.CompleteHistoryView, interp)
+
+	onsets, err := Onsets(pm, logic.P("sent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := onsets[0], []runs.Time{0, 3}; got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("sent-run onsets %v, want %v", got, want)
+	}
+	if onsets[1][0] != runs.Lost || onsets[1][1] != runs.Lost {
+		t.Fatalf("idle-run onsets %v, want all Lost", onsets[1])
+	}
+	if got := OnsetSpread(onsets[0]); got != 3 {
+		t.Fatalf("sent-run spread %d, want 3", got)
+	}
+	if got := OnsetSpread(onsets[1]); got != -1 {
+		t.Fatalf("idle-run spread %d, want -1", got)
+	}
+}

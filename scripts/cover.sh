@@ -1,38 +1,56 @@
 #!/usr/bin/env bash
 # cover.sh — coverage gate: run the full test suite with a coverage
-# profile and fail if the statement coverage of internal/kripke (the model
-# checker core every other package leans on) drops below the threshold.
+# profile and fail if the statement coverage of any gated package drops
+# below its threshold:
+#
+#   internal/kripke   >= 80   (the model checker core everything leans on)
+#   internal/runs     >= 70   (runs-and-systems semantics + chain machinery)
+#   internal/protocol >= 70   (generation + the fault-injection engine)
 #
 # Usage: scripts/cover.sh [profile.out]
 #
 # The profile is left at the given path (default coverage.out) so CI can
-# upload it as an artifact. COVER_THRESHOLD overrides the default gate of
-# 80 (percent).
+# upload it as an artifact. COVER_THRESHOLD overrides the kripke gate;
+# COVER_THRESHOLD_RUNS / COVER_THRESHOLD_PROTOCOL override the others.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-THRESHOLD="${COVER_THRESHOLD:-80}"
 PROFILE="${1:-coverage.out}"
 
 go test -coverprofile="$PROFILE" ./... >/dev/null
 
-# Profile lines are "<file>:<range> <statements> <hits>"; statement
-# coverage of a package is covered-statements / statements over its files.
-pct="$(awk '
-/^repro\/internal\/kripke\// {
-    total += $2
-    if ($3 > 0) covered += $2
+# pkg_pct PKGPATH — statement coverage of one package. Profile lines are
+# "<file>:<range> <statements> <hits>"; coverage is covered/total
+# statements over the package's files (not subpackages).
+pkg_pct() {
+    awk -v pkg="^repro/$1/[^/]+\\.go:" '
+    $0 ~ pkg {
+        total += $2
+        if ($3 > 0) covered += $2
+    }
+    END {
+        if (total == 0) { print "0.0"; exit }
+        printf "%.1f", covered / total * 100
+    }' "$PROFILE"
 }
-END {
-    if (total == 0) { print "0.0"; exit }
-    printf "%.1f", covered / total * 100
-}' "$PROFILE")"
 
 overall="$(go tool cover -func="$PROFILE" | awk '/^total:/ { print $3 }')"
-echo "internal/kripke statement coverage: ${pct}% (gate: >= ${THRESHOLD}%); repo total: ${overall}"
 
-if awk -v p="$pct" -v t="$THRESHOLD" 'BEGIN { exit !(p < t) }'; then
-    echo "cover.sh: internal/kripke coverage ${pct}% is below the ${THRESHOLD}% gate" >&2
-    exit 1
-fi
+fail=0
+check() { # check PKGPATH THRESHOLD
+    local pct
+    pct="$(pkg_pct "$1")"
+    echo "$1 statement coverage: ${pct}% (gate: >= $2%)"
+    if awk -v p="$pct" -v t="$2" 'BEGIN { exit !(p < t) }'; then
+        echo "cover.sh: $1 coverage ${pct}% is below the $2% gate" >&2
+        fail=1
+    fi
+}
+
+check internal/kripke "${COVER_THRESHOLD:-80}"
+check internal/runs "${COVER_THRESHOLD_RUNS:-70}"
+check internal/protocol "${COVER_THRESHOLD_PROTOCOL:-70}"
+echo "repo total: ${overall}"
+
+exit "$fail"
