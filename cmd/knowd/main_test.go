@@ -1,0 +1,141 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lineWriter hands each stdout line to the test as it appears, so the
+// test can find the bound address before poking the daemon.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	lines chan string
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for _, ln := range strings.Split(string(p), "\n") {
+		if ln != "" {
+			select {
+			case w.lines <- ln:
+			default:
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestServeAndDrain boots the daemon on an ephemeral port, serves one
+// request, then delivers SIGTERM and expects a clean drain with session
+// state persisted.
+func TestServeAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	out := &lineWriter{lines: make(chan string, 16)}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-state", dir, "-quiet"}, out)
+	}()
+
+	var addr string
+	deadline := time.After(10 * time.Second)
+	for addr == "" {
+		select {
+		case ln := <-out.lines:
+			if m := listenRE.FindStringSubmatch(ln); m != nil {
+				addr = m[1]
+			}
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		case <-deadline:
+			t.Fatalf("daemon never reported its address\n%s", out.String())
+		}
+	}
+
+	url := "http://" + addr
+	resp, err := http.Post(url+"/v1/sessions", "application/json",
+		strings.NewReader(`{"system":"muddy:2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open: %d: %s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("missing drain confirmation:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sessions.json")); err != nil {
+		t.Fatalf("drain did not persist sessions: %v", err)
+	}
+
+	// A second daemon over the same state dir restores the session.
+	out2 := &lineWriter{lines: make(chan string, 16)}
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run([]string{"-addr", "127.0.0.1:0", "-state", dir, "-quiet"}, out2)
+	}()
+	restored := false
+	deadline = time.After(10 * time.Second)
+	for !restored {
+		select {
+		case ln := <-out2.lines:
+			if strings.Contains(ln, "restored 1 sessions") {
+				restored = true
+			}
+			if m := listenRE.FindStringSubmatch(ln); m != nil && !restored {
+				t.Fatalf("daemon listening without restoring\n%s", out2.String())
+			}
+		case err := <-done2:
+			t.Fatalf("second daemon exited early: %v\n%s", err, out2.String())
+		case <-deadline:
+			t.Fatalf("second daemon never restored\n%s", out2.String())
+		}
+	}
+	syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	select {
+	case <-done2:
+	case <-time.After(30 * time.Second):
+		t.Fatal("second daemon did not drain")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-addr"}, io.Discard); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:1"}, io.Discard); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

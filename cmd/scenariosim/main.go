@@ -48,6 +48,7 @@ func run(args []string) error {
 	drift := fs.Int("drift", 3, "clock-drift bound of the drift-beyond regime")
 	drop := fs.Float64("drop", 0.4, "loss probability of the lossy regime")
 	crash := fs.Float64("crash", 0.5, "crash probability of the crash regime")
+	dup := fs.Float64("dup", 0.4, "duplication probability of the dup regime")
 	delayDist := fs.String("delay-dist", "uniform:1-2",
 		"delay distribution of the bounded regime (fixed:D | uniform:MIN-MAX | unbounded:SPAN)")
 	horizon := fs.Int("horizon", 14, "observation horizon (ticks)")
@@ -57,6 +58,8 @@ func run(args []string) error {
 		"replay the delivery announcement chain on this regime (e.g. bounded); empty skips")
 	incremental := fs.Bool("incremental", true,
 		"thread quotient block maps and reachability seeds through the ladder's restrictions; false forces the from-scratch ablation path")
+	recovery := fs.Bool("recovery", false,
+		"model-check post-recovery knowledge around every sampled crash window of the crash regime")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +83,7 @@ func run(args []string) error {
 		Drift:   *drift,
 		Drop:    *drop,
 		CrashP:  *crash,
+		DupP:    *dup,
 		Delay:   delay,
 		Horizon: runs.Time(*horizon),
 		Workers: workers,
@@ -107,6 +111,33 @@ func run(args []string) error {
 		if err := replayLadder(p, *ladder, *incremental); err != nil {
 			return err
 		}
+	}
+	if *recovery {
+		if err := printRecovery(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printRecovery prints the post-recovery knowledge checks of the crash
+// regime: one row per sampled crash window whose recovery point lies
+// inside the horizon.
+func printRecovery(p scenario.Params) error {
+	checks, err := scenario.PostRecoveryChecks(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npost-recovery knowledge (crash regime, %d windows):\n", len(checks))
+	fmt.Printf("%-16s %-5s %-9s %-6s %-9s %-7s %-9s\n",
+		"run", "proc", "window", "knew", "recovers", "onset", "relearned")
+	for _, c := range checks {
+		onset := "never"
+		if c.Onset >= 0 {
+			onset = fmt.Sprintf("%d", c.Onset)
+		}
+		fmt.Printf("%-16s %-5d [%2d,%2d]   %-6v %-9v %-7s %-9v\n",
+			c.Run, c.Proc, c.Start, c.End, c.KnewAtCrash, c.KnowsOnRecovery, onset, c.Relearned)
 	}
 	return nil
 }

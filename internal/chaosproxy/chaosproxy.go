@@ -1,0 +1,199 @@
+// Package chaosproxy is an HTTP proxy driven by the repository's own
+// fault engine: every request's fate — extra delay, loss, duplication —
+// is drawn from a seeded faults.Plan exactly the way the simulation
+// engine draws message fates, so a chaos run against the knowd daemon is
+// reproducible byte for byte from one int64 seed.
+//
+// Fates are order-independent: request index i draws from the stream
+// plan.ForRun(i, ...) regardless of arrival interleaving, so concurrent
+// clients do not perturb each other's faults and a replay with the same
+// seed injects the same faults at the same request indices.
+//
+// Fault semantics, chosen to exercise both halves of the client/server
+// robustness contract:
+//
+//   - delay: the sampled tick count becomes a real sleep before
+//     forwarding (Tick scales a tick to wall time);
+//   - drop: even request indices are dropped BEFORE the upstream (the
+//     request never happened), odd indices are forwarded and their
+//     RESPONSE is dropped (the server executed but the client cannot know
+//     — precisely the case idempotency keys exist for); the client side
+//     of the connection is severed so the caller sees a transport error;
+//   - dup: a duplicated request is forwarded to the upstream first, its
+//     response discarded, then the primary follows — the server's dedupe
+//     window must collapse the pair or chains double-advance.
+package chaosproxy
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// Config carries the proxy's knobs.
+type Config struct {
+	// Target is the upstream base URL, e.g. "http://127.0.0.1:7433".
+	Target string
+	// Plan is the seeded fault plan; Plan.Delay is required.
+	Plan faults.Plan
+	// Tick scales one delay tick to wall time. Default 1ms.
+	Tick time.Duration
+	// Logf receives per-request fate lines; nil discards them.
+	Logf func(format string, args ...any)
+	// HTTPClient overrides the upstream transport.
+	HTTPClient *http.Client
+}
+
+// Stats counts what the proxy did to traffic.
+type Stats struct {
+	Requests         int64 `json:"requests"`
+	Delayed          int64 `json:"delayed"`
+	DroppedRequests  int64 `json:"dropped_requests"`
+	DroppedResponses int64 `json:"dropped_responses"`
+	Duplicated       int64 `json:"duplicated"`
+}
+
+// Proxy implements http.Handler. Safe for concurrent use.
+type Proxy struct {
+	cfg    Config
+	client *http.Client
+	idx    atomic.Int64
+
+	requests, delayed, duplicated     atomic.Int64
+	droppedRequests, droppedResponses atomic.Int64
+}
+
+// New validates the plan and builds a proxy.
+func New(cfg Config) (*Proxy, error) {
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaosproxy: no target configured")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Proxy{cfg: cfg, client: client}, nil
+}
+
+// StatsSnapshot returns the current counters.
+func (p *Proxy) StatsSnapshot() Stats {
+	return Stats{
+		Requests:         p.requests.Load(),
+		Delayed:          p.delayed.Load(),
+		DroppedRequests:  p.droppedRequests.Load(),
+		DroppedResponses: p.droppedResponses.Load(),
+		Duplicated:       p.duplicated.Load(),
+	}
+}
+
+// fateFor draws request i's fate from its own order-independent stream
+// (the horizon is irrelevant to message fates).
+func (p *Proxy) fateFor(i int) faults.MessageFate {
+	return p.cfg.Plan.ForRun(i, 1, 1).SampleMessage()
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	i := int(p.idx.Add(1) - 1)
+	fate := p.fateFor(i)
+	p.requests.Add(1)
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		sever(w)
+		return
+	}
+
+	if fate.Delay > 1 {
+		// Delay 1 is the channel's baseline tick; only the excess is real
+		// wall time, so a fault-free Fixed{1} plan adds no latency.
+		p.delayed.Add(1)
+		time.Sleep(time.Duration(fate.Delay-1) * p.cfg.Tick)
+	}
+
+	if fate.Dropped && i%2 == 0 {
+		// Request lost on the way in: the upstream never sees it.
+		p.droppedRequests.Add(1)
+		p.logf("req %d %s %s: dropped request", i, r.Method, r.URL.Path)
+		sever(w)
+		return
+	}
+
+	if fate.DupDelay > 0 {
+		// The duplicate goes first so the primary's response is the one
+		// the client receives; the server's idempotency window has to
+		// collapse the pair.
+		p.duplicated.Add(1)
+		p.logf("req %d %s %s: duplicated", i, r.Method, r.URL.Path)
+		if resp, err := p.forward(r, body); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	resp, err := p.forward(r, body)
+	if err != nil {
+		p.logf("req %d %s %s: upstream error: %v", i, r.Method, r.URL.Path, err)
+		sever(w)
+		return
+	}
+	defer resp.Body.Close()
+
+	if fate.Dropped {
+		// Response lost on the way back: the upstream executed, the
+		// client saw nothing.
+		io.Copy(io.Discard, resp.Body)
+		p.droppedResponses.Add(1)
+		p.logf("req %d %s %s: dropped response (%d)", i, r.Method, r.URL.Path, resp.StatusCode)
+		sever(w)
+		return
+	}
+
+	for k, vs := range resp.Header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// forward replays the request against the upstream.
+func (p *Proxy) forward(r *http.Request, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(r.Method, p.cfg.Target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		req.Header[k] = vs
+	}
+	return p.client.Do(req)
+}
+
+// sever kills the client connection without an HTTP response, so the
+// caller experiences network loss rather than a status code. When the
+// connection cannot be hijacked the proxy falls back to 502, which the
+// retrying client treats the same way.
+func sever(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	w.WriteHeader(http.StatusBadGateway)
+}

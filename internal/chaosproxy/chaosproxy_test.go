@@ -1,0 +1,170 @@
+package chaosproxy
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func echoUpstream(hits *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("X-Key", r.Header.Get("Idempotency-Key"))
+		w.Write([]byte(r.Method + " " + r.URL.Path + " "))
+		w.Write(body)
+	}))
+}
+
+func newProxy(t *testing.T, target string, plan faults.Plan) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, err := New(Config{Target: target, Plan: plan, Tick: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+// TestFaultFreePassThrough: a plan with only the baseline delay is a
+// transparent proxy — bodies, headers and methods survive both ways.
+func TestFaultFreePassThrough(t *testing.T) {
+	var hits atomic.Int64
+	up := echoUpstream(&hits)
+	defer up.Close()
+	p, ts := newProxy(t, up.URL, faults.Plan{Seed: 1, Delay: faults.Fixed{D: 1}})
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/thing", bytes.NewReader([]byte("payload")))
+	req.Header.Set("Idempotency-Key", "k1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "POST /v1/thing payload" {
+		t.Fatalf("body: %q", body)
+	}
+	if resp.Header.Get("X-Key") != "k1" {
+		t.Fatal("idempotency key did not survive the proxy")
+	}
+	st := p.StatsSnapshot()
+	if st.Requests != 1 || st.DroppedRequests != 0 || st.DroppedResponses != 0 || st.Duplicated != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("upstream hits: %d", hits.Load())
+	}
+}
+
+// TestFatesOrderIndependent: request i's fate depends only on (seed, i),
+// so two proxies with the same plan draw identical fate sequences, and
+// the sequence does not shift when earlier fates are consumed or not.
+func TestFatesOrderIndependent(t *testing.T) {
+	plan := faults.Plan{Seed: 7, Delay: faults.Uniform{Min: 1, MaxD: 4}, Drop: 0.3, Dup: 0.3}
+	a, err := New(Config{Target: "http://unused", Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Target: "http://unused", Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if a.fateFor(i) != b.fateFor(i) {
+			t.Fatalf("fate %d differs across proxies", i)
+		}
+	}
+	// Reading index 50 before index 0 draws the same fates.
+	if a.fateFor(50) != b.fateFor(50) || a.fateFor(0) != b.fateFor(0) {
+		t.Fatal("fate depends on draw order")
+	}
+	// A drop-everything plan differs from a drop-nothing plan somewhere.
+	seen := false
+	for i := 0; i < 64 && !seen; i++ {
+		f := a.fateFor(i)
+		seen = f.Dropped || f.DupDelay > 0
+	}
+	if !seen {
+		t.Fatal("plan with drop=0.3 dup=0.3 injected nothing in 64 fates")
+	}
+}
+
+// TestDropSemantics: with Drop=1 every request fails at the client, but
+// only odd request indices reach the upstream (request-drop vs
+// response-drop alternation).
+func TestDropSemantics(t *testing.T) {
+	var hits atomic.Int64
+	up := echoUpstream(&hits)
+	defer up.Close()
+	p, ts := newProxy(t, up.URL, faults.Plan{Seed: 1, Delay: faults.Fixed{D: 1}, Drop: 1})
+
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(ts.URL+"/x", "text/plain", bytes.NewReader(nil))
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("request %d: dropped fate produced a response (%d)", i, resp.StatusCode)
+		}
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("upstream hits: %d, want 2 (odd indices only)", hits.Load())
+	}
+	st := p.StatsSnapshot()
+	if st.DroppedRequests != 2 || st.DroppedResponses != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDupSemantics: with Dup=1 the upstream sees each request twice and
+// the client still gets exactly one good response.
+func TestDupSemantics(t *testing.T) {
+	var hits atomic.Int64
+	up := echoUpstream(&hits)
+	defer up.Close()
+	p, ts := newProxy(t, up.URL, faults.Plan{Seed: 1, Delay: faults.Fixed{D: 1}, Dup: 1})
+
+	resp, err := http.Post(ts.URL+"/x", "text/plain", bytes.NewReader([]byte("hi")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "POST /x hi" {
+		t.Fatalf("body: %q", body)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("upstream hits: %d, want 2", hits.Load())
+	}
+	if st := p.StatsSnapshot(); st.Duplicated != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{Target: "http://x", Plan: faults.Plan{}}); err == nil {
+		t.Fatal("plan without delay accepted")
+	}
+	if _, err := New(Config{Plan: faults.Plan{Delay: faults.Fixed{D: 1}}}); err == nil {
+		t.Fatal("empty target accepted")
+	}
+}
+
+// TestUpstreamDownSevers: a dead upstream severs the client connection
+// (transport error), never a fabricated 200.
+func TestUpstreamDownSevers(t *testing.T) {
+	_, ts := newProxy(t, "http://127.0.0.1:1", faults.Plan{Seed: 1, Delay: faults.Fixed{D: 1}})
+	resp, err := http.Get(ts.URL + "/x")
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode < 500 {
+			t.Fatalf("dead upstream produced %d", resp.StatusCode)
+		}
+	}
+}

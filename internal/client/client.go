@@ -1,0 +1,366 @@
+// Package client is the retrying knowd client: the other half of the
+// daemon's robustness contract. Every mutating call carries a
+// deterministic idempotency key that is REUSED across retries, so the
+// server's single-flight dedupe window can collapse duplicates — whether
+// they come from this client's own retry loop or from a duplicating
+// network in between. Transient failures (connection errors, 429, 503,
+// 5xx) back off exponentially with full jitter drawn from the repo's
+// seeded splitmix64 stream, honoring Retry-After; a run of consecutive
+// failures opens a circuit breaker that fails fast until a cooldown
+// elapses and a half-open probe is allowed through.
+package client
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// ErrCircuitOpen fails a call fast while the breaker cooldown runs.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// APIError is a non-retryable server verdict (4xx other than 429).
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server said %d: %s", e.Status, e.Msg)
+}
+
+// Config carries the client knobs; zero values mean defaults.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7433".
+	BaseURL string
+	// Seed drives the jitter stream (and, with DeterministicKeys, the
+	// idempotency-key sequence). Default 1.
+	Seed int64
+	// DeterministicKeys derives the idempotency-key prefix purely from
+	// Seed, so a seeded chaos run replays the identical request stream.
+	// Default false: every client instance mints a unique random prefix,
+	// so separate processes (repeated CLI invocations, say) can never
+	// collide in the server's dedupe window.
+	DeterministicKeys bool
+	// MaxAttempts bounds tries per call (first try included). Default 6.
+	MaxAttempts int
+	// BaseDelay is the first backoff ceiling; attempt k waits a uniform
+	// draw from [0, min(MaxDelay, BaseDelay<<k)). Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling. Default 2s.
+	MaxDelay time.Duration
+	// BreakerThreshold is how many consecutive failed calls open the
+	// breaker. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting a
+	// half-open probe through. Default 5s.
+	BreakerCooldown time.Duration
+	// HTTPClient overrides the transport (default http.Client with a 30s
+	// timeout).
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 6
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// Client talks to one knowd daemon. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jitter   *faults.Stream
+	keyPfx   string
+	keySeq   uint64
+	fails    int       // consecutive failed calls
+	openedAt time.Time // breaker open time; zero when closed
+	probing  bool      // a half-open probe is in flight
+
+	now   func() time.Time      // injectable for tests
+	sleep func(d time.Duration) // injectable for tests
+	rand  func(n int64) int64   // injectable for tests; default jitter stream
+
+	// Retries counts every retried attempt (total attempts minus calls),
+	// for tests and chaos assertions.
+	retries int
+}
+
+// New builds a client from cfg.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cfg:    cfg,
+		jitter: faults.NewStream(cfg.Seed),
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+	if cfg.DeterministicKeys {
+		c.keyPfx = fmt.Sprintf("c%x", cfg.Seed)
+	} else {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to a process-unique-ish prefix; colliding with
+			// another client also requires colliding sequence numbers.
+			binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano())^uint64(os.Getpid())<<32)
+		}
+		c.keyPfx = hex.EncodeToString(b[:])
+	}
+	c.rand = func(n int64) int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.jitter.Intn(int(n)))
+	}
+	return c
+}
+
+// Retries reports how many retried attempts the client has made.
+func (c *Client) Retries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+// nextKey mints the idempotency key for one logical call. The sequence is
+// deterministic in the seed, so a chaos run can be replayed exactly.
+func (c *Client) nextKey() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keySeq++
+	return fmt.Sprintf("%s-%d", c.keyPfx, c.keySeq)
+}
+
+// breakerAdmit decides whether a call may proceed. While open, only the
+// half-open probe after the cooldown is admitted.
+func (c *Client) breakerAdmit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.openedAt.IsZero() {
+		return nil
+	}
+	if c.now().Sub(c.openedAt) < c.cfg.BreakerCooldown || c.probing {
+		return ErrCircuitOpen
+	}
+	c.probing = true // this call is the probe
+	return nil
+}
+
+func (c *Client) recordOutcome(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probing = false
+	if err == nil {
+		c.fails = 0
+		c.openedAt = time.Time{}
+		return
+	}
+	c.fails++
+	if c.fails >= c.cfg.BreakerThreshold {
+		c.openedAt = c.now()
+	}
+}
+
+// retryable reports whether a response status is worth another attempt.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// call performs one logical API call with retries; out, when non-nil, is
+// filled from the final 2xx body. Mutating calls pass idempotent=true to
+// attach a per-call Idempotency-Key reused across every attempt.
+func (c *Client) call(method, path string, in, out any, idempotent bool) error {
+	if err := c.breakerAdmit(); err != nil {
+		return err
+	}
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			c.recordOutcome(err)
+			return err
+		}
+	}
+	key := ""
+	if idempotent {
+		key = c.nextKey()
+	}
+	err := c.attemptLoop(method, path, key, body, out)
+	// A definitive 4xx verdict means the server is healthy and answering;
+	// only transport failures and exhausted retries feed the breaker.
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		c.recordOutcome(nil)
+	} else {
+		c.recordOutcome(err)
+	}
+	return err
+}
+
+func (c *Client) attemptLoop(method, path, key string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+		}
+		req, err := http.NewRequest(method, c.cfg.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
+		if err != nil {
+			lastErr = err
+			c.backoff(attempt, 0)
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			c.backoff(attempt, 0)
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		case retryable(resp.StatusCode):
+			lastErr = fmt.Errorf("client: server said %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+			c.backoff(attempt, parseRetryAfter(resp.Header.Get("Retry-After")))
+			continue
+		default:
+			var eb struct {
+				Error string `json:"error"`
+			}
+			_ = json.Unmarshal(data, &eb)
+			if eb.Error == "" {
+				eb.Error = string(bytes.TrimSpace(data))
+			}
+			return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+		}
+	}
+	return fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, c.cfg.MaxAttempts, lastErr)
+}
+
+// backoff sleeps a full-jitter exponential delay: uniform in [0, ceiling)
+// where ceiling doubles per attempt, floored by any server Retry-After.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) {
+	ceiling := c.cfg.BaseDelay << uint(attempt)
+	if ceiling > c.cfg.MaxDelay || ceiling <= 0 {
+		ceiling = c.cfg.MaxDelay
+	}
+	d := time.Duration(c.rand(int64(ceiling)))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	c.sleep(d)
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// API surface.
+
+// Health reports the daemon's health status string ("ok" or "draining").
+func (c *Client) Health() (string, error) {
+	var m map[string]string
+	if err := c.call("GET", "/healthz", nil, &m, false); err != nil {
+		return "", err
+	}
+	return m["status"], nil
+}
+
+// Systems lists the loadable system specs.
+func (c *Client) Systems() ([]server.SystemInfo, error) {
+	var out []server.SystemInfo
+	err := c.call("GET", "/v1/systems", nil, &out, false)
+	return out, err
+}
+
+// Stats snapshots the daemon's counters.
+func (c *Client) Stats() (server.Stats, error) {
+	var out server.Stats
+	err := c.call("GET", "/v1/stats", nil, &out, false)
+	return out, err
+}
+
+// Sessions lists the live sessions.
+func (c *Client) Sessions() ([]server.SessionState, error) {
+	var out []server.SessionState
+	err := c.call("GET", "/v1/sessions", nil, &out, false)
+	return out, err
+}
+
+// Open creates a session on a system spec; seed 0 uses the server's seed.
+func (c *Client) Open(system string, seed int64) (server.SessionState, error) {
+	var out server.SessionState
+	err := c.call("POST", "/v1/sessions", server.OpenRequest{System: system, Seed: seed}, &out, true)
+	return out, err
+}
+
+// Eval evaluates a formula batch on a session.
+func (c *Client) Eval(session string, req server.EvalRequest) (server.EvalResponse, error) {
+	var out server.EvalResponse
+	err := c.call("POST", "/v1/sessions/"+session+"/eval", req, &out, true)
+	return out, err
+}
+
+// Announce publicly announces a formula on a session.
+func (c *Client) Announce(session, formula string) (server.SessionState, error) {
+	var out server.SessionState
+	err := c.call("POST", "/v1/sessions/"+session+"/announce", server.AnnounceRequest{Formula: formula}, &out, true)
+	return out, err
+}
+
+// Close deletes a session.
+func (c *Client) Close(session string) error {
+	return c.call("DELETE", "/v1/sessions/"+session, nil, nil, true)
+}

@@ -1,6 +1,7 @@
 package kripke
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -139,6 +140,23 @@ func (sm *sharedMemo) put(key []byte, s *bitset.Set) (*bitset.Set, bool) {
 // constructed; it may run concurrently with other EvalBatch or Eval calls
 // on the same model, but not with construction.
 func (m *Model) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Set, error) {
+	return m.EvalBatchCtx(context.Background(), fs, opts...)
+}
+
+// EvalBatchCtx is EvalBatch with deadline/cancellation propagation: the
+// context is checked before every formula pickup — on the serial path and
+// in every worker of the fan-out — and between the single-flight table
+// builds of the batch preparation, so a caller whose context dies (a
+// disconnected client, an expired deadline) stops burning cores after at
+// most one in-flight formula per worker instead of finishing the whole
+// batch. On cancellation the error is ctx.Err() and no results are
+// returned. With a context that never cancels, results are byte-identical
+// to EvalBatch — the checks are reads, never branches in the evaluation
+// itself.
+func (m *Model) EvalBatchCtx(ctx context.Context, fs []logic.Formula, opts ...BatchOption) ([]*bitset.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var cfg batchConfig
 	for _, o := range opts {
 		o(&cfg)
@@ -161,6 +179,9 @@ func (m *Model) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Se
 		ev := m.getEvaluator()
 		defer m.putEvaluator(ev)
 		for i, f := range fs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s, owned, err := ev.eval(f, nil)
 			if err != nil {
 				return nil, err
@@ -177,7 +198,10 @@ func (m *Model) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Se
 	// Front-load every derived table the batch can be seen to need, so
 	// workers start on warm tables instead of meeting on the single-flight
 	// guards one build at a time.
-	m.prepareBatch(fs)
+	m.prepareBatch(ctx, fs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	sm := newSharedMemo()
 	errs := make([]error, len(fs))
@@ -190,7 +214,7 @@ func (m *Model) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Se
 			ev := m.getEvaluator()
 			ev.shared = sm
 			defer m.putEvaluator(ev)
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(fs) {
 					return
@@ -211,6 +235,9 @@ func (m *Model) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Se
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -224,8 +251,11 @@ func (m *Model) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Se
 // on large models, as PrepareAgents does), joint-view partitions for the
 // D_G groups and reachability partitions for the C_G groups. Invalid
 // agents or groups are skipped — the evaluation itself reports them with
-// its usual errors.
-func (m *Model) prepareBatch(fs []logic.Formula) {
+// its usual errors. The context is checked between the single-flight
+// builds: a cancelled batch stops launching further table builds (builds
+// already in flight run to completion — they are shared with other
+// batches through the model's caches and must stay coherent).
+func (m *Model) prepareBatch(ctx context.Context, fs []logic.Formula) {
 	t := m.tables()
 	seen := make([]bool, m.numAgents)
 	var agents []int
@@ -291,10 +321,16 @@ func (m *Model) prepareBatch(fs []logic.Formula) {
 			return true
 		})
 	}
+	if ctx.Err() != nil {
+		return
+	}
 	if len(agents) > 0 {
 		m.ensureParts(t, agents)
 	}
 	for _, gn := range groups {
+		if ctx.Err() != nil {
+			return
+		}
 		if gn.joint {
 			m.jointPartition(t, gn.agents, nil)
 		}

@@ -1,0 +1,182 @@
+package kripke
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/logic"
+)
+
+// TestEvalBatchCtxUncancelledIdentical pins the acceptance contract of the
+// context-threading path: with a context that never cancels, EvalBatchCtx
+// is byte-identical to EvalBatch across worker counts.
+func TestEvalBatchCtxUncancelledIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		n := 16 + rng.Intn(150)
+		numAgents := 1 + rng.Intn(4)
+		m := randModel(rng, n, numAgents)
+		fs := batchFormulas(numAgents)
+
+		want, err := m.EvalBatch(fs, BatchWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := m.EvalBatchCtx(context.Background(), fs, BatchWorkers(workers))
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			for i := range fs {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d workers %d: EvalBatchCtx[%d] = %s, want %s",
+						trial, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchCtxPreCancelled checks that an already-dead context returns
+// its error before any evaluation work, on both engine paths.
+func TestEvalBatchCtxPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randModel(rng, 64, 2)
+	fs := batchFormulas(2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		out, err := m.EvalBatchCtx(ctx, fs, BatchWorkers(workers))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers %d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers %d: results returned despite cancellation", workers)
+		}
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := m.EvalBatchCtx(dctx, fs, BatchWorkers(2)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// cancellingTemporal is a TemporalSemantics hook that counts evaluations
+// and cancels a context on the first one — a deterministic probe for how
+// much work a batch does after its caller disappears mid-flight.
+type cancellingTemporal struct {
+	worlds int
+	evals  atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancellingTemporal) EvalTemporal(m *Model, f logic.Formula, rec func(logic.Formula) (*bitset.Set, error)) (*bitset.Set, error) {
+	if c.evals.Add(1) == 1 {
+		c.cancel()
+	}
+	return bitset.New(c.worlds), nil
+}
+
+// cancelProbeModel builds a model whose temporal hook cancels the given
+// context on the first temporal evaluation, plus a batch of nf distinct
+// temporal formulas (distinct, so the shared memo cannot absorb them: each
+// one the engine actually picks up hits the hook exactly once).
+func cancelProbeModel(nf int, cancel context.CancelFunc) (*Model, *cancellingTemporal, []logic.Formula) {
+	const worlds = 32
+	m := NewModel(worlds, 2)
+	for w := 0; w < worlds; w++ {
+		m.SetName(w, "w"+strconv.Itoa(w))
+	}
+	hook := &cancellingTemporal{worlds: worlds, cancel: cancel}
+	m.Temporal = hook
+	fs := make([]logic.Formula, nf)
+	for i := range fs {
+		fs[i] = logic.Cev(nil, logic.P(fmt.Sprintf("p%d", i)))
+	}
+	return m, hook, fs
+}
+
+// TestEvalBatchCtxSerialCancelStopsAfterOneFormula: on the serial path the
+// context is checked between formulas, so a batch whose first formula's
+// evaluation kills the caller evaluates exactly that one formula out of a
+// thousand — far less than one batch's worth of work.
+func TestEvalBatchCtxSerialCancelStopsAfterOneFormula(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, hook, fs := cancelProbeModel(1000, cancel)
+	out, err := m.EvalBatchCtx(ctx, fs, BatchWorkers(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("results returned despite cancellation")
+	}
+	if got := hook.evals.Load(); got != 1 {
+		t.Fatalf("serial path evaluated %d formulas after cancellation, want exactly 1", got)
+	}
+}
+
+// TestEvalBatchCtxWorkersCancelPromptly: on the fan-out path each worker
+// re-checks the context before pulling its next formula, so after the
+// first formula cancels the batch, at most the formulas already in flight
+// (bounded by the worker count) finish — the other ~thousand are never
+// picked up.
+func TestEvalBatchCtxWorkersCancelPromptly(t *testing.T) {
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, hook, fs := cancelProbeModel(1000, cancel)
+	out, err := m.EvalBatchCtx(ctx, fs, BatchWorkers(workers))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("results returned despite cancellation")
+	}
+	// One formula cancelled; every other worker can have at most one pull
+	// in flight that raced the cancellation, plus one more each if the
+	// pull happened before cancel() returned. 2*workers is a safe bound
+	// that still proves promptness against a 1000-formula batch.
+	if got := hook.evals.Load(); got > 2*workers {
+		t.Fatalf("fan-out evaluated %d formulas after cancellation, want <= %d", got, 2*workers)
+	}
+}
+
+// TestQuotientedEvalBatchCtx checks the view-level wrapper: cancellation
+// propagates, and an uncancelled context returns exactly what EvalBatch
+// does, expanded through the block map.
+func TestQuotientedEvalBatchCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randModel(rng, 256, 3)
+	q := m.QuotientForEval(1)
+	fs := batchFormulas(3)
+
+	want, err := q.EvalBatch(fs, BatchWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.EvalBatchCtx(context.Background(), fs, BatchWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("EvalBatchCtx[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.EvalBatchCtx(ctx, fs, BatchWorkers(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

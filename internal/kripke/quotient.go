@@ -1,6 +1,8 @@
 package kripke
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/logic"
 )
@@ -155,7 +157,15 @@ func (q *Quotiented) expand(qset *bitset.Set) *bitset.Set {
 // through the block map. Results are identical, set for set, to calling
 // Eval on each formula in order.
 func (q *Quotiented) EvalBatch(fs []logic.Formula, opts ...BatchOption) ([]*bitset.Set, error) {
-	qsets, err := q.quot.EvalBatch(fs, opts...)
+	return q.EvalBatchCtx(context.Background(), fs, opts...)
+}
+
+// EvalBatchCtx is EvalBatch with the deadline/cancellation propagation of
+// Model.EvalBatchCtx: a cancelled context stops the underlying fan-out
+// after at most one in-flight formula per worker, and the block-map
+// expansion is skipped entirely.
+func (q *Quotiented) EvalBatchCtx(ctx context.Context, fs []logic.Formula, opts ...BatchOption) ([]*bitset.Set, error) {
+	qsets, err := q.quot.EvalBatchCtx(ctx, fs, opts...)
 	if err != nil {
 		return nil, err
 	}

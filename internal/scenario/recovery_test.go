@@ -1,0 +1,79 @@
+package scenario
+
+import "testing"
+
+// TestPostRecoveryMemoryIntact pins the crash regime's recovery semantics
+// at the knowledge level (the ROADMAP's "what recovered processes can
+// re-learn" follow-on): a processor that knew the broadcast fact when its
+// crash window opened still knows it at the first post-recovery point —
+// under the complete-history view, partitions only refine over time, so
+// stable facts survive the outage with the processor's memory — while
+// re-learning (down ignorant, knows after recovery) happens only through
+// post-recovery deliveries, and some processors never learn at all
+// (their deliveries fell into the window and were lost).
+func TestPostRecoveryMemoryIntact(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		checks, err := PostRecoveryChecks(Params{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(checks) == 0 {
+			t.Fatalf("seed %d: no crash windows sampled inside the horizon", seed)
+		}
+		knew, relearned, never := 0, 0, 0
+		for _, c := range checks {
+			if c.KnewAtCrash {
+				knew++
+				if !c.KnowsOnRecovery {
+					t.Errorf("seed %d: run %s proc %d knew sent at crash start %d but not at recovery %d — memory lost",
+						seed, c.Run, c.Proc, c.Start, c.End+1)
+				}
+				if c.Onset > c.Start {
+					t.Errorf("seed %d: run %s proc %d: onset %d after a crash start %d it already knew at",
+						seed, c.Run, c.Proc, c.Onset, c.Start)
+				}
+			}
+			if c.Relearned {
+				relearned++
+				if c.Onset <= c.End {
+					t.Errorf("seed %d: run %s proc %d marked relearned with onset %d inside the window ending %d",
+						seed, c.Run, c.Proc, c.Onset, c.End)
+				}
+			}
+			if c.Onset < 0 {
+				never++
+				if c.KnowsOnRecovery {
+					t.Errorf("seed %d: run %s proc %d knows at recovery but has no onset", seed, c.Run, c.Proc)
+				}
+			}
+		}
+		// All three fates must actually occur, or the regime is not
+		// exercising the recovery semantics it claims to.
+		if knew == 0 || relearned == 0 || never == 0 {
+			t.Errorf("seed %d: degenerate fate distribution: knew=%d relearned=%d never=%d of %d checks",
+				seed, knew, relearned, never, len(checks))
+		}
+	}
+}
+
+// TestPostRecoveryDeterministic: equal seeds reproduce the checks exactly
+// (the recovery sweep rides the same order-independent streams as the
+// matrix).
+func TestPostRecoveryDeterministic(t *testing.T) {
+	a, err := PostRecoveryChecks(Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PostRecoveryChecks(Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("check counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("check %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -23,6 +23,10 @@
 //     gate every variant — the idle configuration plays the paper's
 //     "possibly nothing was sent" run, so a processor that never receives
 //     never learns the fact, and the fixed points collapse.
+//   - dup (bounded delay plus duplicated deliveries: an at-least-once
+//     channel) attains exactly what bounded does — extra copies destroy
+//     no information, so duplication is the one fault knowledge survives
+//     for free.
 //
 // Every sweep is reproducible byte for byte from its seed: the fault plans
 // derive order-independent splitmix64 streams, generation is serial, and
@@ -65,6 +69,7 @@ type Params struct {
 	Drift     int              // drift bound of the drift-beyond regime (default 3)
 	Drop      float64          // loss probability of the lossy regime (default 0.4)
 	CrashP    float64          // crash probability of the crash regime (default 0.5)
+	DupP      float64          // duplication probability of the dup regime (default 0.4)
 	Delay     faults.DelayDist // delay distribution of the bounded regime (default uniform:1-2)
 	AsyncSpan int              // sampled-delay span of the async regime (default 8)
 	Horizon   runs.Time        // observation horizon (default 14)
@@ -93,6 +98,9 @@ func (p Params) withDefaults() Params {
 	if p.CrashP == 0 {
 		p.CrashP = 0.5
 	}
+	if p.DupP == 0 {
+		p.DupP = 0.4
+	}
 	if p.Delay == nil {
 		p.Delay = faults.Uniform{Min: 1, MaxD: 2}
 	}
@@ -119,7 +127,7 @@ type Regime struct {
 	Jitter []runs.Time
 }
 
-// Regimes returns the seven swept regimes under the given parameters. Each
+// Regimes returns the eight swept regimes under the given parameters. Each
 // regime's plan seed is derived from the sweep seed and the regime's index,
 // so regimes draw independent fault streams from one CLI seed.
 func Regimes(p Params) []Regime {
@@ -149,6 +157,14 @@ func Regimes(p Params) []Regime {
 			faults.Plan{Delay: faults.Fixed{D: 1}, Drop: p.Drop}),
 		mk(6, "crash", "fixed delay, processes crash and recover", stepJitter,
 			faults.Plan{Delay: faults.Fixed{D: 1}, Crash: faults.CrashSpec{P: p.CrashP, MinDown: 2, MaxDown: 4}}),
+		// Duplication rides on the bounded regime's uncertain delay: an
+		// at-least-once channel. The extra copies change the receivers'
+		// histories (and multiply the sampled run space) but destroy no
+		// delivery, so the attainment row must match bounded — duplication
+		// alone costs no knowledge, which is exactly why a service can
+		// retry deliveries and dedupe without weakening its verdicts.
+		mk(7, "dup", "bounded delay, messages duplicated (at-least-once)", stepJitter,
+			faults.Plan{Delay: p.Delay, Dup: p.DupP}),
 	}
 }
 

@@ -18,7 +18,8 @@ const goldenMatrix = "attainment matrix: seed=1 agents=4 samples=12 eps=2 T=3\n"
 	"drift-within   no   yes    yes    yes     48     720    2       2\n" +
 	"drift-beyond   no   yes    yes    no      48     720    2       2\n" +
 	"lossy          no   no     no     no      30     450    2   never\n" +
-	"crash          no   no     no     no      67    1005    2       2\n"
+	"crash          no   no     no     no      67    1005    2       2\n" +
+	"dup            no   yes    yes    no      57     855    3       3\n"
 
 func TestSweepGoldenMatrix(t *testing.T) {
 	res, err := Sweep(Params{Seed: 1})
@@ -46,6 +47,9 @@ func TestPaperSeparations(t *testing.T) {
 		"drift-beyond": {false, true, true, false},
 		"lossy":        {false, false, false, false},
 		"crash":        {false, false, false, false},
+		// Duplication destroys no deliveries: the at-least-once channel
+		// attains exactly what its delay regime (bounded) does.
+		"dup": {false, true, true, false},
 	}
 	if len(res.Verdicts) != len(want) {
 		t.Fatalf("swept %d regimes, want %d", len(res.Verdicts), len(want))
@@ -185,6 +189,59 @@ func TestLadderIncrementalMatchesScratch(t *testing.T) {
 		if last := inc[len(inc)-1]; !last.Common {
 			t.Fatalf("%s: C(sent) still fails after announcing del>=%d", key, last.Deliveries)
 		}
+	}
+}
+
+// TestDupRegimeExercisesDuplication pins that the dup regime actually
+// drives the duplicate-delivery fault end to end: some sampled run carries
+// two delivered copies of one send (same sender, receiver, send time and
+// payload), and the duplicated copies enlarge the sampled run space beyond
+// the bounded regime's (the extra copies are observable in receiver
+// histories, or the regime would be a no-op).
+func TestDupRegimeExercisesDuplication(t *testing.T) {
+	p := Params{Seed: 1}
+	rgDup, err := RegimeByKey(p, "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p, rgDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupSeen := false
+	for _, r := range b.Sys.Runs {
+		type key struct {
+			from, to int
+			at       int
+			payload  string
+		}
+		seen := map[key]bool{}
+		for _, m := range r.Messages {
+			if !m.Delivered() {
+				continue
+			}
+			k := key{m.From, m.To, int(m.SendTime), m.Payload}
+			if seen[k] {
+				dupSeen = true
+			}
+			seen[k] = true
+		}
+	}
+	if !dupSeen {
+		t.Fatal("no sampled dup-regime run carries a duplicated delivery")
+	}
+
+	rgBounded, err := RegimeByKey(p, "bounded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Build(p, rgBounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sys.Runs) <= len(bb.Sys.Runs) {
+		t.Fatalf("dup regime sampled %d distinct runs, want more than bounded's %d (duplicates must be observable)",
+			len(b.Sys.Runs), len(bb.Sys.Runs))
 	}
 }
 

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"container/list"
+	"net/http"
+	"sync"
+)
+
+// dedupeWindow is the server-side single-flight idempotency table: the
+// first request carrying a given Idempotency-Key executes and stores its
+// response; duplicates that arrive while it is in flight wait on done and
+// replay the stored bytes, and duplicates that arrive after it completed
+// replay immediately. Either way the handler body runs once per key — a
+// retried eval is never recomputed and a retried announce never advances
+// the session chain twice.
+//
+// Entries whose response was transient (load-shed 429, draining 503,
+// panic 500) are dropped instead of stored, so a client retrying the same
+// key gets a fresh execution once capacity returns.
+type dedupeWindow struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*dedupeEntry
+	order   *list.List // of string keys, oldest first; completed entries evict FIFO
+}
+
+type dedupeEntry struct {
+	done      chan struct{} // closed when status/body are final
+	status    int
+	body      []byte
+	header    http.Header
+	transient bool // do not keep: a retry should re-execute
+	elem      *list.Element
+}
+
+func newDedupeWindow(max int) *dedupeWindow {
+	return &dedupeWindow{
+		max:     max,
+		entries: make(map[string]*dedupeEntry),
+		order:   list.New(),
+	}
+}
+
+// begin claims key. The first caller gets (entry, true) and must call
+// finish exactly once; later callers get (entry, false) and wait on done.
+func (d *dedupeWindow) begin(key string) (*dedupeEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[key]; ok {
+		return e, false
+	}
+	d.evictLocked()
+	e := &dedupeEntry{done: make(chan struct{})}
+	e.elem = d.order.PushBack(key)
+	d.entries[key] = e
+	return e, true
+}
+
+// finish publishes the executed response (or drops the entry when the
+// response is transient) and releases every waiter.
+func (d *dedupeWindow) finish(key string, e *dedupeEntry, status int, header http.Header, body []byte, transient bool) {
+	d.mu.Lock()
+	e.status = status
+	e.header = header
+	e.body = body
+	e.transient = transient
+	if transient {
+		delete(d.entries, key)
+		d.order.Remove(e.elem)
+	}
+	d.mu.Unlock()
+	close(e.done)
+}
+
+// evictLocked drops oldest completed entries until the window has room.
+// In-flight entries are skipped: their waiters still need the result.
+func (d *dedupeWindow) evictLocked() {
+	for el := d.order.Front(); el != nil && d.order.Len() >= d.max; {
+		key := el.Value.(string)
+		next := el.Next()
+		e := d.entries[key]
+		select {
+		case <-e.done:
+			delete(d.entries, key)
+			d.order.Remove(el)
+		default: // in flight
+		}
+		el = next
+	}
+}
+
+// size reports the number of tracked keys (testing hook).
+func (d *dedupeWindow) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}

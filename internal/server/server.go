@@ -1,0 +1,773 @@
+// Package server implements knowd, the knowledge-serving daemon: an
+// HTTP/JSON front end over the repository's model-checking stack. Clients
+// open sessions against experiment systems (muddy-n, the coordinated
+// attack, R2-D2, the scenario fault regimes), evaluate formula batches on
+// the session's current model, and drive public-announcement chains whose
+// warm incremental state (quotient block maps, seeded re-refinement) lives
+// server-side between requests.
+//
+// The robustness surface is deliberately explicit, because the daemon is
+// chaos-tested by the repository's own fault engine:
+//
+//   - admission control: a bounded compute-slot semaphore sheds overload
+//     with 429 + Retry-After instead of queueing without bound;
+//   - idempotency: requests carrying an Idempotency-Key execute once and
+//     replay stored bytes to duplicates (single flight), so a retried
+//     announce never advances a chain twice and a retried eval never
+//     recomputes;
+//   - per-session serialization: chain links cannot interleave;
+//   - panic recovery: a poisoned request becomes a 500, the daemon lives;
+//   - graceful drain: Shutdown stops intake, finishes in-flight work and
+//     persists session chains (with their quotient block maps) to disk.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logic"
+)
+
+// Config carries the daemon's knobs; zero values mean defaults.
+type Config struct {
+	// Seed parameterizes scenario fault sampling for sessions opened
+	// without an explicit seed. Default 1.
+	Seed int64
+	// Workers caps eval-batch workers per request; <=0 means one per core.
+	Workers int
+	// Queue is the number of concurrent compute slots before load shedding
+	// kicks in. Default 64.
+	Queue int
+	// DedupeWindow is how many idempotency keys the server remembers.
+	// Default 256.
+	DedupeWindow int
+	// SessionTTL evicts sessions idle longer than this. Default 15m.
+	SessionTTL time.Duration
+	// StateDir, when non-empty, is where Shutdown persists session state
+	// (sessions.json) and LoadSessions restores it from.
+	StateDir string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.DedupeWindow <= 0 {
+		c.DedupeWindow = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// Wire types, shared with internal/client.
+
+// OpenRequest opens a session. Seed 0 inherits the server's seed.
+type OpenRequest struct {
+	System string `json:"system"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// SessionState describes a session's current chain link.
+type SessionState struct {
+	Session  string `json:"session"`
+	System   string `json:"system"`
+	Agents   int    `json:"agents"`
+	Link     int    `json:"link"`     // announcements applied so far
+	Worlds   int    `json:"worlds"`   // worlds of the current (restricted) model
+	Quotient int    `json:"quotient"` // worlds evaluation actually runs on
+	Marked   int    `json:"marked"`   // distinguished world, -1 if eliminated
+}
+
+// EvalRequest evaluates a formula batch on a session's current model.
+// Workers <= 0 uses the server default; positive counts are clamped to the
+// server's cap. Worlds asks for the full denotation world lists.
+type EvalRequest struct {
+	Formulas []string `json:"formulas"`
+	Workers  int      `json:"workers,omitempty"`
+	Worlds   bool     `json:"worlds,omitempty"`
+}
+
+// Verdict is one formula's result. Marked is nil when the session has no
+// surviving marked world to judge at.
+type Verdict struct {
+	Formula string `json:"formula"`
+	Count   int    `json:"count"`
+	Marked  *bool  `json:"marked"`
+	Worlds  []int  `json:"worlds,omitempty"`
+}
+
+// EvalResponse carries the batch's verdicts; Link identifies the chain
+// link they were computed at.
+type EvalResponse struct {
+	Session  string    `json:"session"`
+	Link     int       `json:"link"`
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// AnnounceRequest publicly announces a formula on a session.
+type AnnounceRequest struct {
+	Formula string `json:"formula"`
+}
+
+// Stats is the daemon's counter snapshot.
+type Stats struct {
+	Sessions   int   `json:"sessions"`
+	Opened     int64 `json:"opened"`
+	Closed     int64 `json:"closed"`
+	Evicted    int64 `json:"evicted"`
+	Restored   int64 `json:"restored"`
+	Evals      int64 `json:"evals"`
+	Announces  int64 `json:"announces"`
+	DedupeHits int64 `json:"dedupe_hits"`
+	Shed       int64 `json:"shed"`
+	Panics     int64 `json:"panics"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// maxBatch bounds one eval request's formula count.
+const maxBatch = 1024
+
+// Server is the knowd daemon state. Create with New; serve via Serve or
+// mount Handler on a test server.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	http *http.Server
+	now  func() time.Time // injectable for eviction tests
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int64
+
+	dedupe   *dedupeWindow
+	sem      chan struct{}
+	draining atomic.Bool
+
+	janitorOnce sync.Once
+	janitorStop chan struct{}
+
+	opened, closed, evicted, restored atomic.Int64
+	evals, announces, dedupeHits      atomic.Int64
+	shed, panics                      atomic.Int64
+}
+
+// New builds a daemon from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		now:         time.Now,
+		sessions:    make(map[string]*session),
+		dedupe:      newDedupeWindow(cfg.DedupeWindow),
+		sem:         make(chan struct{}, cfg.Queue),
+		janitorStop: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.withRecover(s.handleHealthz))
+	mux.HandleFunc("GET /v1/systems", s.withRecover(s.handleSystems))
+	mux.HandleFunc("GET /v1/stats", s.withRecover(s.handleStats))
+	mux.HandleFunc("GET /v1/sessions", s.withRecover(s.handleList))
+	mux.HandleFunc("POST /v1/sessions", s.compute(s.handleOpen))
+	mux.HandleFunc("POST /v1/sessions/{id}/eval", s.compute(s.handleEval))
+	mux.HandleFunc("POST /v1/sessions/{id}/announce", s.compute(s.handleAnnounce))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.withRecover(s.handleClose))
+	s.mux = mux
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Handler exposes the daemon's routes (for tests and custom servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. The idle-session janitor
+// runs for the lifetime of the daemon.
+func (s *Server) Serve(l net.Listener) error {
+	s.startJanitor()
+	err := s.http.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon: new compute is refused with 503, in-flight
+// requests finish (bounded by ctx), and — when StateDir is set — every
+// surviving session chain is persisted for the next process to restore.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	if s.cfg.StateDir != "" {
+		if _, serr := s.SaveSessions(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	s.janitorOnce.Do(func() {}) // mark started so stop is safe either way
+	select {
+	case <-s.janitorStop:
+	default:
+		close(s.janitorStop)
+	}
+	return err
+}
+
+func (s *Server) startJanitor() {
+	s.janitorOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(s.cfg.SessionTTL / 4)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.janitorStop:
+					return
+				case <-t.C:
+					s.evictIdle(s.now())
+				}
+			}
+		}()
+	})
+}
+
+// evictIdle drops sessions idle longer than SessionTTL.
+func (s *Server) evictIdle(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ss := range s.sessions {
+		if now.Sub(ss.lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			s.evicted.Add(1)
+			s.logf("evicted idle session %s (%s)", id, ss.ld.spec)
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Middleware.
+
+// compute wraps the expensive mutating endpoints: panic recovery outside,
+// then idempotency dedupe (a replayed duplicate never needs a slot), then
+// admission control, then the handler.
+func (s *Server) compute(h http.HandlerFunc) http.HandlerFunc {
+	return s.withRecover(s.withDedupe(s.withAdmit(h)))
+}
+
+func (s *Server) withRecover(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				writeErr(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// withAdmit implements load shedding: compute runs only while a slot is
+// free; otherwise the request is refused immediately with Retry-After so
+// a well-behaved client backs off instead of piling onto the queue.
+func (s *Server) withAdmit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h(w, r)
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "over capacity")
+		}
+	}
+}
+
+// withDedupe gives Idempotency-Key semantics to the wrapped handler: the
+// first request with a key executes against a response recorder, stores
+// the bytes, and every duplicate — concurrent or later — replays them.
+// Transient outcomes (shed, draining, panic, client disconnect) are not
+// stored, so a retry of the same key re-executes once conditions clear.
+func (s *Server) withDedupe(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			h(w, r)
+			return
+		}
+		e, first := s.dedupe.begin(key)
+		if !first {
+			select {
+			case <-e.done:
+			case <-r.Context().Done():
+				return // duplicate's client gone before the original finished
+			}
+			s.dedupeHits.Add(1)
+			writeStored(w, e)
+			return
+		}
+		rec := &recorder{header: make(http.Header)}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Add(1)
+					s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+					rec.status = http.StatusInternalServerError
+					rec.buf.Reset()
+					rec.header.Set("Content-Type", "application/json")
+					body, _ := json.Marshal(errorBody{Error: fmt.Sprintf("internal error: %v", p)})
+					rec.buf.Write(body)
+				}
+			}()
+			h(rec, r)
+		}()
+		status := rec.status
+		if status == 0 {
+			// The handler wrote nothing (client disconnected mid-compute).
+			status = 499
+		}
+		transient := status == http.StatusTooManyRequests ||
+			status == http.StatusServiceUnavailable ||
+			status >= 500 || status == 499
+		s.dedupe.finish(key, e, status, rec.header, rec.buf.Bytes(), transient)
+		writeStored(w, e)
+	}
+}
+
+// recorder captures a handler's response for the dedupe window.
+type recorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *recorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.buf.Write(b)
+}
+
+func writeStored(w http.ResponseWriter, e *dedupeEntry) {
+	if e.status == 499 {
+		return // nothing was produced; the duplicate gets nothing to replay
+	}
+	for k, vs := range e.header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(e.status)
+	w.Write(e.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// Handlers.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Systems(s.cfg.Seed))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// StatsSnapshot returns the current counter values.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{
+		Sessions:   n,
+		Opened:     s.opened.Load(),
+		Closed:     s.closed.Load(),
+		Evicted:    s.evicted.Load(),
+		Restored:   s.restored.Load(),
+		Evals:      s.evals.Load(),
+		Announces:  s.announces.Load(),
+		DedupeHits: s.dedupeHits.Load(),
+		Shed:       s.shed.Load(),
+		Panics:     s.panics.Load(),
+	}
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req OpenRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed
+	}
+	ld, err := loadSystem(req.System, seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ss := &session{seed: seed, ld: ld, lastUsed: s.now()}
+	s.mu.Lock()
+	s.nextID++
+	ss.id = "s" + strconv.FormatInt(s.nextID, 10)
+	s.sessions[ss.id] = ss
+	s.mu.Unlock()
+	s.opened.Add(1)
+	writeJSON(w, http.StatusCreated, s.stateOf(ss))
+}
+
+// stateOf snapshots a session's chain state; callers hold ss.mu or have
+// exclusive access.
+func (s *Server) stateOf(ss *session) SessionState {
+	return SessionState{
+		Session:  ss.id,
+		System:   ss.ld.spec,
+		Agents:   ss.ld.agents,
+		Link:     len(ss.announced),
+		Worlds:   ss.ld.view.NumWorlds(),
+		Quotient: ss.ld.view.QuotientWorlds(),
+		Marked:   ss.ld.marked,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	slices.SortFunc(ids, func(a, b string) int {
+		na, _ := strconv.Atoi(a[1:])
+		nb, _ := strconv.Atoi(b[1:])
+		return na - nb
+	})
+	out := make([]SessionState, 0, len(ids))
+	for _, id := range ids {
+		ss := s.sessions[id]
+		ss.mu.Lock()
+		out = append(out, s.stateOf(ss))
+		ss.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) session(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req EvalRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Formulas) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty formula batch")
+		return
+	}
+	if len(req.Formulas) > maxBatch {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("batch of %d formulas exceeds the %d cap", len(req.Formulas), maxBatch))
+		return
+	}
+	fs := make([]logic.Formula, len(req.Formulas))
+	for i, src := range req.Formulas {
+		f, err := logic.Parse(src)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("formula %d: %v", i, err))
+			return
+		}
+		fs[i] = f
+	}
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.touch(s.now())
+	sets, err := ss.evalBatch(r.Context(), fs, s.evalWorkers(req.Workers))
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nobody is listening
+		}
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := EvalResponse{
+		Session:  ss.id,
+		Link:     len(ss.announced),
+		Verdicts: make([]Verdict, len(fs)),
+	}
+	for i, set := range sets {
+		v := Verdict{Formula: req.Formulas[i], Count: set.Count()}
+		if ss.ld.marked >= 0 {
+			holds := set.Contains(ss.ld.marked)
+			v.Marked = &holds
+		}
+		if req.Worlds {
+			v.Worlds = set.Elements()
+		}
+		resp.Verdicts[i] = v
+	}
+	s.evals.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evalWorkers maps a request's worker ask onto the server's cap.
+func (s *Server) evalWorkers(req int) int {
+	cap := s.cfg.Workers
+	if cap <= 0 {
+		cap = runtime.GOMAXPROCS(0)
+	}
+	if req <= 0 || req > cap {
+		return cap
+	}
+	return req
+}
+
+func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req AnnounceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	f, err := logic.Parse(req.Formula)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.touch(s.now())
+	if err := ss.announce(req.Formula, f); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.announces.Add(1)
+	writeJSON(w, http.StatusOK, s.stateOf(ss))
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	s.closed.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+}
+
+// decodeBody decodes a bounded JSON request body, reporting malformed
+// input as 400. Returns false when a response was already written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// Session persistence: the drain path of the tentpole. Chains are stored
+// as their announcement sources plus the expected model shape; restore
+// replays the sources through the same incremental machinery and verifies
+// the rebuilt chain matches world for world before trusting it.
+
+type persistedSession struct {
+	ID        string   `json:"id"`
+	System    string   `json:"system"`
+	Seed      int64    `json:"seed"`
+	Announced []string `json:"announced"`
+	Marked    int      `json:"marked"`
+	Worlds    int      `json:"worlds"`
+	Quotient  int      `json:"quotient"`
+	Blocks    []int    `json:"blocks,omitempty"`
+}
+
+type stateFile struct {
+	Sessions []persistedSession `json:"sessions"`
+}
+
+// SaveSessions writes every live session's chain record to
+// StateDir/sessions.json and returns the path written.
+func (s *Server) SaveSessions() (string, error) {
+	if s.cfg.StateDir == "" {
+		return "", fmt.Errorf("server: no StateDir configured")
+	}
+	s.mu.Lock()
+	var sf stateFile
+	for _, ss := range s.sessions {
+		ss.mu.Lock()
+		sf.Sessions = append(sf.Sessions, persistedSession{
+			ID:        ss.id,
+			System:    ss.ld.spec,
+			Seed:      ss.seed,
+			Announced: slices.Clone(ss.announced),
+			Marked:    ss.ld.marked,
+			Worlds:    ss.ld.view.NumWorlds(),
+			Quotient:  ss.ld.view.QuotientWorlds(),
+			Blocks:    slices.Clone(ss.ld.view.Blocks()),
+		})
+		ss.mu.Unlock()
+	}
+	s.mu.Unlock()
+	slices.SortFunc(sf.Sessions, func(a, b persistedSession) int {
+		na, _ := strconv.Atoi(a.ID[1:])
+		nb, _ := strconv.Atoi(b.ID[1:])
+		return na - nb
+	})
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.cfg.StateDir, "sessions.json")
+	data, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	s.logf("persisted %d sessions to %s", len(sf.Sessions), path)
+	return path, nil
+}
+
+// LoadSessions restores sessions persisted by a previous drain. Each
+// chain is rebuilt by replaying its announcements; a chain whose rebuilt
+// model shape (worlds, quotient size, block map, marked world) disagrees
+// with the record is skipped rather than served wrong. Returns how many
+// sessions were restored. A missing state file is not an error.
+func (s *Server) LoadSessions() (int, error) {
+	if s.cfg.StateDir == "" {
+		return 0, fmt.Errorf("server: no StateDir configured")
+	}
+	path := filepath.Join(s.cfg.StateDir, "sessions.json")
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var sf stateFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return 0, fmt.Errorf("server: corrupt state file %s: %w", path, err)
+	}
+	restored := 0
+	maxID := int64(0)
+	for _, ps := range sf.Sessions {
+		ld, err := loadSystem(ps.System, ps.Seed)
+		if err != nil {
+			s.logf("skipping persisted session %s: %v", ps.ID, err)
+			continue
+		}
+		ss := &session{id: ps.ID, seed: ps.Seed, ld: ld, lastUsed: s.now()}
+		if err := ss.replay(ps.Announced); err != nil {
+			s.logf("skipping persisted session %s: %v", ps.ID, err)
+			continue
+		}
+		if ss.ld.marked != ps.Marked ||
+			ss.ld.view.NumWorlds() != ps.Worlds ||
+			ss.ld.view.QuotientWorlds() != ps.Quotient ||
+			!blocksEqual(ss.ld.view.Blocks(), ps.Blocks) {
+			s.logf("skipping persisted session %s: replayed chain does not match its record", ps.ID)
+			continue
+		}
+		s.mu.Lock()
+		s.sessions[ps.ID] = ss
+		s.mu.Unlock()
+		if n, err := strconv.ParseInt(ps.ID[1:], 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+		restored++
+	}
+	s.mu.Lock()
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	s.mu.Unlock()
+	s.restored.Add(int64(restored))
+	if restored > 0 {
+		s.logf("restored %d sessions from %s", restored, path)
+	}
+	return restored, nil
+}
+
+// blocksEqual compares block maps, treating nil and empty as equal.
+func blocksEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return slices.Equal(a, b)
+}

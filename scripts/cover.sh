@@ -6,12 +6,16 @@
 #   internal/kripke   >= 80   (the model checker core everything leans on)
 #   internal/runs     >= 70   (runs-and-systems semantics + chain machinery)
 #   internal/protocol >= 70   (generation + the fault-injection engine)
+#   internal/faults   >= 70   (seeded fault plans: the chaos substrate)
+#   internal/scenario >= 70   (regime builder behind scenariosim and knowd)
+#   internal/server   >= 70   (the serving layer's robustness machinery)
 #
 # Usage: scripts/cover.sh [profile.out]
 #
 # The profile is left at the given path (default coverage.out) so CI can
 # upload it as an artifact. COVER_THRESHOLD overrides the kripke gate;
-# COVER_THRESHOLD_RUNS / COVER_THRESHOLD_PROTOCOL override the others.
+# COVER_THRESHOLD_<PKG> (RUNS, PROTOCOL, FAULTS, SCENARIO, SERVER)
+# override the others.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,6 +55,9 @@ check() { # check PKGPATH THRESHOLD
 check internal/kripke "${COVER_THRESHOLD:-80}"
 check internal/runs "${COVER_THRESHOLD_RUNS:-70}"
 check internal/protocol "${COVER_THRESHOLD_PROTOCOL:-70}"
+check internal/faults "${COVER_THRESHOLD_FAULTS:-70}"
+check internal/scenario "${COVER_THRESHOLD_SCENARIO:-70}"
+check internal/server "${COVER_THRESHOLD_SERVER:-70}"
 echo "repo total: ${overall}"
 
 exit "$fail"
