@@ -136,8 +136,8 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "sessions %d opened %d closed %d evicted %d restored %d\n",
 			st.Sessions, st.Opened, st.Closed, st.Evicted, st.Restored)
-		fmt.Fprintf(out, "evals %d announces %d dedupe-hits %d shed %d panics %d\n",
-			st.Evals, st.Announces, st.DedupeHits, st.Shed, st.Panics)
+		fmt.Fprintf(out, "evals %d announces %d replays %d dedupe-hits %d shed %d panics %d\n",
+			st.Evals, st.Announces, st.Replays, st.DedupeHits, st.Shed, st.Panics)
 		return nil
 
 	default:

@@ -51,6 +51,8 @@ func run(args []string, out io.Writer) error {
 	dedupe := fs.Int("dedupe", 256, "idempotency keys remembered by the dedupe window")
 	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "idle session eviction age")
 	state := fs.String("state", "", "directory for session persistence across drains (empty disables)")
+	writeThrough := fs.Bool("write-through", false,
+		"persist session state after every mutation, not only on drain (crash-survivable; needs -state)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	quiet := fs.Bool("quiet", false, "suppress operational logging")
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +63,9 @@ func run(args []string, out io.Writer) error {
 	if *quiet {
 		logf = nil
 	}
+	if *writeThrough && *state == "" {
+		return fmt.Errorf("-write-through needs -state")
+	}
 	s := server.New(server.Config{
 		Seed:         *seed,
 		Workers:      kripke.WorkersFromFlag(*parallel),
@@ -68,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		DedupeWindow: *dedupe,
 		SessionTTL:   *sessionTTL,
 		StateDir:     *state,
+		WriteThrough: *writeThrough,
 		Logf:         logf,
 	})
 	if *state != "" {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestDryRunDeterministic: -dry dumps the canonical schedule without a
+// server; equal seeds are byte-identical, different seeds are not.
+func TestDryRunDeterministic(t *testing.T) {
+	dump := func(seed string) string {
+		var buf bytes.Buffer
+		if err := run([]string{"-dry", "-seed", seed, "-workers", "3", "-sessions", "4"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := dump("9"), dump("9")
+	if a != b {
+		t.Fatal("two -dry runs of one seed diverged")
+	}
+	if a == dump("10") {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if !strings.Contains(a, "\topen\t") {
+		t.Fatalf("dump has no open ops:\n%s", a)
+	}
+	// One op per line, tab-separated, logical IDs leading.
+	for _, line := range strings.Split(strings.TrimRight(a, "\n"), "\n") {
+		if !strings.HasPrefix(line, "w") || !strings.Contains(line, "\t") {
+			t.Fatalf("malformed schedule line %q", line)
+		}
+	}
+}
+
+// TestRunAgainstLiveServer drives a small fleet at an in-process daemon
+// and checks the report lands where -report points.
+func TestRunAgainstLiveServer(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "LOAD_REPORT.md")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-seed", "3", "-workers", "2", "-sessions", "2",
+		"-report", path,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0/") {
+		t.Errorf("run output reports failures:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{"# knowload report", "-seed 3 -workers 2 -sessions 2", "## Latency by op type"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report misses %q", want)
+		}
+	}
+}
+
+// TestRunReportToStdout: empty -report prints the report inline.
+func TestRunReportToStdout(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-seed", "2", "-workers", "1", "-sessions", "2"}, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "# knowload report") {
+		t.Errorf("stdout run misses inline report:\n%s", buf.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mix", "quantum=3", "-dry"}, &buf); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if err := run([]string{"-dry", "extra"}, &buf); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}

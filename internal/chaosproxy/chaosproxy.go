@@ -21,7 +21,17 @@
 //     of the connection is severed so the caller sees a transport error;
 //   - dup: a duplicated request is forwarded to the upstream first, its
 //     response discarded, then the primary follows — the server's dedupe
-//     window must collapse the pair or chains double-advance.
+//     window must collapse the pair or chains double-advance;
+//   - slow-loris: the response body trickles back one byte per write (with
+//     an optional per-byte pause), exercising clients that must survive a
+//     dribbling read without declaring the peer dead;
+//   - sever: the response is cut mid-body after the headers promised the
+//     full length — the upstream executed, the client holds half a body
+//     and a transport error, and only an idempotent retry can recover.
+//
+// The byte-level fates (slow-loris, sever) draw from their own per-request
+// stream derived under a proxy-private label, so enabling them never
+// shifts the delay/drop/dup sequence an existing seed pins.
 package chaosproxy
 
 import (
@@ -29,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +54,17 @@ type Config struct {
 	Plan faults.Plan
 	// Tick scales one delay tick to wall time. Default 1ms.
 	Tick time.Duration
+	// SlowLoris is the per-request probability that the response body is
+	// trickled back one byte per write instead of in one copy.
+	SlowLoris float64
+	// Sever is the per-request probability that the response is cut
+	// mid-body: headers and half the body are delivered, then the
+	// connection dies with the Content-Length promise unmet.
+	Sever float64
+	// TrickleDelay is the pause between bytes of a slow-loris response.
+	// Default 0: the trickle is byte-wise but adds no wall time, so tests
+	// can exercise the read path with zero sleeps.
+	TrickleDelay time.Duration
 	// Logf receives per-request fate lines; nil discards them.
 	Logf func(format string, args ...any)
 	// HTTPClient overrides the upstream transport.
@@ -56,6 +78,8 @@ type Stats struct {
 	DroppedRequests  int64 `json:"dropped_requests"`
 	DroppedResponses int64 `json:"dropped_responses"`
 	Duplicated       int64 `json:"duplicated"`
+	Trickled         int64 `json:"trickled"`
+	Severed          int64 `json:"severed"`
 }
 
 // Proxy implements http.Handler. Safe for concurrent use.
@@ -66,6 +90,7 @@ type Proxy struct {
 
 	requests, delayed, duplicated     atomic.Int64
 	droppedRequests, droppedResponses atomic.Int64
+	trickled, severed                 atomic.Int64
 }
 
 // New validates the plan and builds a proxy.
@@ -75,6 +100,11 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	if cfg.Target == "" {
 		return nil, fmt.Errorf("chaosproxy: no target configured")
+	}
+	for name, prob := range map[string]float64{"slow-loris": cfg.SlowLoris, "sever": cfg.Sever} {
+		if prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("chaosproxy: %s probability %v outside [0, 1]", name, prob)
+		}
 	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = time.Millisecond
@@ -94,6 +124,8 @@ func (p *Proxy) StatsSnapshot() Stats {
 		DroppedRequests:  p.droppedRequests.Load(),
 		DroppedResponses: p.droppedResponses.Load(),
 		Duplicated:       p.duplicated.Load(),
+		Trickled:         p.trickled.Load(),
+		Severed:          p.severed.Load(),
 	}
 }
 
@@ -101,6 +133,27 @@ func (p *Proxy) StatsSnapshot() Stats {
 // (the horizon is irrelevant to message fates).
 func (p *Proxy) fateFor(i int) faults.MessageFate {
 	return p.cfg.Plan.ForRun(i, 1, 1).SampleMessage()
+}
+
+// byteFateLabel roots the per-request stream the byte-level fates draw
+// from; it must stay distinct from the faults package's internal labels so
+// the message-fate sequences pinned by existing seeds never shift.
+const byteFateLabel = 0xb17e
+
+// byteFate is the delivery-time fate of one response body.
+type byteFate struct {
+	trickle bool // slow-loris: one byte per write
+	sever   bool // cut mid-body; wins over trickle when both are drawn
+}
+
+// byteFateFor draws request i's byte-level fate from its own
+// order-independent stream, exactly as fateFor does for message fates.
+func (p *Proxy) byteFateFor(i int) byteFate {
+	s := p.cfg.Plan.Derive(byteFateLabel, uint64(i))
+	return byteFate{
+		trickle: s.Bool(p.cfg.SlowLoris),
+		sever:   s.Bool(p.cfg.Sever),
+	}
 }
 
 func (p *Proxy) logf(format string, args ...any) {
@@ -165,11 +218,67 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	p.deliver(w, r, resp, i)
+}
+
+// deliver writes the upstream response to the client, applying the
+// request's byte-level fate: intact in one copy, trickled byte by byte, or
+// severed halfway through a body the headers promised in full.
+func (p *Proxy) deliver(w http.ResponseWriter, r *http.Request, resp *http.Response, i int) {
+	bf := p.byteFateFor(i)
+	if !bf.trickle && !bf.sever {
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		sever(w)
+		return
+	}
 	for k, vs := range resp.Header {
 		w.Header()[k] = vs
 	}
+	// Both fates need the full length promised up front: the trickle so the
+	// client knows when the dribble is done, the sever so the half-delivered
+	// body is a broken promise (unexpected EOF), not a short success.
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+
+	if bf.sever {
+		p.severed.Add(1)
+		p.logf("req %d %s %s: severed mid-body (%d, %d of %d bytes)",
+			i, r.Method, r.URL.Path, resp.StatusCode, len(body)/2, len(body))
+		if len(body) == 0 {
+			// Nothing to cut in half; kill the connection before any
+			// response so the client still sees a transport error.
+			sever(w)
+			return
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		sever(w)
+		return
+	}
+
+	p.trickled.Add(1)
+	p.logf("req %d %s %s: slow-loris trickle (%d bytes)", i, r.Method, r.URL.Path, len(body))
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	f, _ := w.(http.Flusher)
+	for j := range body {
+		w.Write(body[j : j+1])
+		if f != nil {
+			f.Flush()
+		}
+		if p.cfg.TrickleDelay > 0 {
+			time.Sleep(p.cfg.TrickleDelay)
+		}
+	}
 }
 
 // forward replays the request against the upstream.

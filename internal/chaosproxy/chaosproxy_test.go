@@ -154,6 +154,122 @@ func TestNewValidates(t *testing.T) {
 	if _, err := New(Config{Plan: faults.Plan{Delay: faults.Fixed{D: 1}}}); err == nil {
 		t.Fatal("empty target accepted")
 	}
+	plan := faults.Plan{Seed: 1, Delay: faults.Fixed{D: 1}}
+	if _, err := New(Config{Target: "http://x", Plan: plan, SlowLoris: 1.5}); err == nil {
+		t.Fatal("slow-loris probability above 1 accepted")
+	}
+	if _, err := New(Config{Target: "http://x", Plan: plan, Sever: -0.1}); err == nil {
+		t.Fatal("negative sever probability accepted")
+	}
+}
+
+// TestSlowLorisDelivery: a trickled response arrives byte by byte but
+// intact — the client reads the identical body, just off a dribbling wire.
+// TrickleDelay stays 0, so the test adds no wall-clock sleeps.
+func TestSlowLorisDelivery(t *testing.T) {
+	var hits atomic.Int64
+	up := echoUpstream(&hits)
+	defer up.Close()
+	p, err := New(Config{
+		Target: up.URL,
+		Plan:   faults.Plan{Seed: 1, Delay: faults.Fixed{D: 1}},
+		// SlowLoris 1 trickles every response; Sever stays 0.
+		SlowLoris: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/x", "text/plain", bytes.NewReader([]byte("dribble")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "POST /x dribble" {
+		t.Fatalf("trickled body corrupted: %q", body)
+	}
+	if st := p.StatsSnapshot(); st.Trickled != 1 || st.Severed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSeverMidBody: a severed response reaches the upstream (the request
+// executed) but dies mid-body at the client — an error the caller can only
+// repair by retrying, which is exactly the lost-response case idempotency
+// keys and announce link preconditions exist for.
+func TestSeverMidBody(t *testing.T) {
+	var hits atomic.Int64
+	up := echoUpstream(&hits)
+	defer up.Close()
+	p, err := New(Config{
+		Target: up.URL,
+		Plan:   faults.Plan{Seed: 1, Delay: faults.Fixed{D: 1}},
+		Sever:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/x", "text/plain", bytes.NewReader([]byte("payload")))
+	if err == nil {
+		// The headers may arrive before the cut; the body read must fail.
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatalf("severed response delivered in full: %q", body)
+		}
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("upstream hits: %d, want 1 (sever happens after execution)", hits.Load())
+	}
+	if st := p.StatsSnapshot(); st.Severed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestByteFatesOrderIndependent: byte-level fates are (seed, index)
+// functions like message fates, and enabling them must not shift the
+// message-fate sequence existing seeds pin.
+func TestByteFatesOrderIndependent(t *testing.T) {
+	plan := faults.Plan{Seed: 7, Delay: faults.Uniform{Min: 1, MaxD: 4}, Drop: 0.3, Dup: 0.3}
+	plain, err := New(Config{Target: "http://unused", Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := New(Config{Target: "http://unused", Plan: plan, SlowLoris: 0.3, Sever: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trickled, severed := 0, 0
+	for i := 0; i < 64; i++ {
+		if plain.fateFor(i) != noisy.fateFor(i) {
+			t.Fatalf("byte fates shifted message fate %d", i)
+		}
+		bf := noisy.byteFateFor(i)
+		if bf != noisy.byteFateFor(i) {
+			t.Fatalf("byte fate %d not a pure function of (seed, index)", i)
+		}
+		if bf.trickle {
+			trickled++
+		}
+		if bf.sever {
+			severed++
+		}
+	}
+	if trickled == 0 || severed == 0 {
+		t.Fatalf("0.3/0.3 plan drew no byte fates in 64 requests (trickle %d, sever %d)", trickled, severed)
+	}
+	// Probability zero draws nothing, whatever the seed's stream holds.
+	for i := 0; i < 64; i++ {
+		if bf := plain.byteFateFor(i); bf.trickle || bf.sever {
+			t.Fatalf("zero-probability byte fate fired at %d", i)
+		}
+	}
 }
 
 // TestUpstreamDownSevers: a dead upstream severs the client connection

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -69,6 +72,26 @@ const (
 	workloadEvals     = 4
 )
 
+// chaosSeeds returns the convergence sweep seeds: 1–3 by default,
+// overridable via CHAOS_SEEDS ("4,5,6") so flake sweeps can widen the net
+// without editing the test. The convergence assertions are seed-free —
+// every seed must produce the clean run's bytes — so any seed is fair.
+func chaosSeeds(t *testing.T) []int64 {
+	env := os.Getenv("CHAOS_SEEDS")
+	if env == "" {
+		return []int64{1, 2, 3}
+	}
+	var seeds []int64
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEEDS: bad seed %q", part)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
 // TestChaosConvergence is the tentpole's acceptance test: the same
 // workload runs once against a clean daemon and once, per seed, through a
 // chaos proxy injecting delay, loss and duplication from the repo's own
@@ -86,7 +109,7 @@ func TestChaosConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, seed := range []int64{1, 2, 3} {
+	for _, seed := range chaosSeeds(t) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			srv := server.New(server.Config{})
 			srvTS := httptest.NewServer(srv.Handler())
@@ -101,6 +124,11 @@ func TestChaosConvergence(t *testing.T) {
 					Dup:   0.4,
 				},
 				Tick: time.Millisecond,
+				// Byte-level fates ride along: trickled reads must not
+				// corrupt verdicts, and mid-body severs are one more
+				// lost-response shape the idempotent retry must absorb.
+				SlowLoris: 0.3,
+				Sever:     0.3,
 			})
 			if err != nil {
 				t.Fatal(err)

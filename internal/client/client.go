@@ -360,6 +360,18 @@ func (c *Client) Announce(session, formula string) (server.SessionState, error) 
 	return out, err
 }
 
+// AnnounceAt announces with a chain-position precondition: the formula
+// must become link link+1 of the chain. A retry whose original applied but
+// whose response was lost — even across a daemon crash-restart, where the
+// dedupe window is gone — replays the resulting state instead of advancing
+// the chain twice; a genuine position mismatch is a 409 APIError.
+func (c *Client) AnnounceAt(session, formula string, link int) (server.SessionState, error) {
+	var out server.SessionState
+	err := c.call("POST", "/v1/sessions/"+session+"/announce",
+		server.AnnounceRequest{Formula: formula, Link: &link}, &out, true)
+	return out, err
+}
+
 // Close deletes a session.
 func (c *Client) Close(session string) error {
 	return c.call("DELETE", "/v1/sessions/"+session, nil, nil, true)

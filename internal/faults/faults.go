@@ -241,7 +241,17 @@ const (
 // (runIdx, kind) labels of ForRun, so flat Derive labels never replay
 // them.
 func (p *Plan) Derive(labels ...uint64) *Stream {
-	h := mix(uint64(p.Seed), 0x5eed)
+	return SubStream(p.Seed, labels...)
+}
+
+// SubStream returns the deterministic stream identified by labels under
+// seed, without requiring a Plan. Sub-streams are order-independent: each
+// (seed, labels) identity owns its own state, so consumers (a load
+// generator's workers, say) can draw in any interleaving — or in parallel
+// from distinct labels — and still replay byte-identically from one seed.
+// SubStream(seed) with no labels equals NewStream(seed).
+func SubStream(seed int64, labels ...uint64) *Stream {
+	h := mix(uint64(seed), 0x5eed)
 	for _, l := range labels {
 		h = mix(h, l)
 	}

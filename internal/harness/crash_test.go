@@ -1,0 +1,276 @@
+package harness_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/harness"
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+// knowdBin builds cmd/knowd once for the whole test binary.
+func knowdBin(t *testing.T) string {
+	t.Helper()
+	if !harness.GoToolAvailable() {
+		t.Skip("go tool not on PATH; cannot build knowd")
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "knowd-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin, buildErr = harness.BuildKnowd(dir)
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+// crashSeeds returns the sweep seeds: 1–3 by default, overridable via
+// KNOWD_CRASH_SEEDS ("4,5,6") so flake sweeps can widen the net without
+// editing the test.
+func crashSeeds(t *testing.T) []int64 {
+	env := os.Getenv("KNOWD_CRASH_SEEDS")
+	if env == "" {
+		return []int64{1, 2, 3}
+	}
+	var seeds []int64
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			t.Fatalf("KNOWD_CRASH_SEEDS: bad seed %q", part)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+// newFleetClient builds a worker client patient enough to ride out a
+// daemon restart inside one logical call's retry loop.
+func newFleetClient(baseURL string, seed int64) func(w int) *client.Client {
+	return func(w int) *client.Client {
+		return client.New(client.Config{
+			BaseURL:          baseURL,
+			Seed:             seed + int64(w)*7919,
+			MaxAttempts:      60,
+			BaseDelay:        2 * time.Millisecond,
+			MaxDelay:         50 * time.Millisecond,
+			BreakerThreshold: 1 << 20, // a restart outage must not trip the breaker
+		})
+	}
+}
+
+// TestCrashRestartConvergence is the harness tentpole: a loadgen fleet
+// drives a real knowd process; mid-workload the daemon is SIGKILLed — no
+// drain, no shutdown hook — and restarted over its write-through state.
+// The retrying fleet must converge to records byte-identical with a clean
+// in-process baseline, and the surviving chains must sit at exactly the
+// scheduled links: announce link preconditions make chain advances
+// exactly-once even though the dedupe window died with the process.
+func TestCrashRestartConvergence(t *testing.T) {
+	bin := knowdBin(t)
+	for _, seed := range crashSeeds(t) {
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			sc := loadgen.Build(loadgen.Config{Seed: seed, Workers: 3, Sessions: 2})
+
+			// Clean baseline: same schedule against an in-process daemon.
+			cleanSrv := server.New(server.Config{})
+			cleanTS := httptest.NewServer(cleanSrv.Handler())
+			defer cleanTS.Close()
+			clean, err := sc.Run(loadgen.RunConfig{NewClient: newFleetClient(cleanTS.URL, seed)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clean.Errors > 0 {
+				t.Fatalf("clean baseline failed %d ops", clean.Errors)
+			}
+
+			addr, err := harness.FreeAddr()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := harness.New(harness.Config{
+				Bin:      bin,
+				Addr:     addr,
+				StateDir: t.TempDir(),
+				Args:     []string{"-write-through", "-quiet"},
+				Logf:     t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(d.Stop)
+
+			// Kill after the open barrier, halfway into the body ops, so
+			// announcement ladders are mid-flight when the process dies.
+			counts := sc.CountByKind()
+			opens := counts[loadgen.OpOpen]
+			killAt := opens + (sc.NumOps()-opens)/2
+			killC := make(chan struct{})
+			restartDone := make(chan error, 1)
+			go func() {
+				<-killC
+				if err := d.Kill(); err != nil {
+					restartDone <- err
+					return
+				}
+				restartDone <- d.Start()
+			}()
+
+			res, err := sc.Run(loadgen.RunConfig{
+				NewClient: newFleetClient(d.URL(), seed),
+				AfterOp: func(done int, op loadgen.Op) {
+					if done == killAt {
+						close(killC)
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rerr := <-restartDone; rerr != nil {
+				t.Fatalf("crash-restart: %v", rerr)
+			}
+			if res.Errors > 0 {
+				for _, rec := range res.Records {
+					if rec.Err != "" {
+						t.Errorf("op failed across restart: %s: %s", rec.Line, rec.Err)
+					}
+				}
+				t.FailNow()
+			}
+
+			// Byte-identical verdicts: the crash run's normalized records
+			// equal the clean baseline's.
+			cleanJSON, err := json.Marshal(clean.Records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashJSON, err := json.Marshal(res.Records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(crashJSON) != string(cleanJSON) {
+				t.Fatalf("crash run diverged from clean baseline:\nclean: %s\ncrash: %s",
+					cleanJSON, crashJSON)
+			}
+
+			// Exactly-once chain advances: the daemon's surviving sessions
+			// sit at precisely the scheduled final links — none lost to the
+			// crash, none doubled by a retried announce.
+			c := client.New(client.Config{BaseURL: d.URL()})
+			states, err := c.Sessions()
+			if err != nil {
+				t.Fatal(err)
+			}
+			links := sc.FinalLinks()
+			if len(states) != len(links) {
+				t.Fatalf("daemon holds %d sessions, schedule leaves %d open", len(states), len(links))
+			}
+			var got, want []int
+			for _, st := range states {
+				got = append(got, st.Link)
+			}
+			for _, n := range links {
+				want = append(want, n)
+			}
+			sort.Ints(got)
+			sort.Ints(want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("final chain links %v, schedule wants %v", got, want)
+				}
+			}
+
+			// The restart genuinely restored persisted chains.
+			st, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Restored == 0 {
+				t.Fatal("restarted daemon restored nothing; the kill landed before any persistence")
+			}
+			t.Logf("seed %d: killed at op %d/%d; restored %d; replays %d; announce hist %s",
+				seed, killAt, sc.NumOps(), st.Restored, st.Replays, res.Hists[loadgen.OpAnnounce])
+		})
+	}
+}
+
+// TestDaemonLifecycle pins the harness controls themselves: boot, serve,
+// drain; then boot, SIGKILL, and restart over the same state without a
+// drain ever running.
+func TestDaemonLifecycle(t *testing.T) {
+	bin := knowdBin(t)
+	addr, err := harness.FreeAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	d, err := harness.New(harness.Config{
+		Bin:      bin,
+		Addr:     addr,
+		StateDir: dir,
+		Args:     []string{"-write-through", "-quiet"},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	c := client.New(client.Config{BaseURL: d.URL()})
+	st, err := c.Open("muddy:3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AnnounceAt(st.Session, "muddy0 | muddy1 | muddy2", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL: no drain ran, yet write-through already persisted the chain.
+	if err := d.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Running() {
+		t.Fatal("daemon reported running after Kill")
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 1 || after[0].Link != 1 {
+		t.Fatalf("restart lost the chain: %+v", after)
+	}
+	if err := d.Drain(10 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if d.Running() {
+		t.Fatal("daemon reported running after Drain")
+	}
+}

@@ -1,0 +1,185 @@
+// Package harness controls real knowd daemon processes for lifecycle
+// tests: build the binary once, boot it on a pinned address, SIGKILL it
+// mid-workload, restart it over the same persisted state, and drain it
+// cleanly. The package exists so crash-restart chaos tests exercise the
+// genuine article — a separate OS process dying without any chance to
+// flush — rather than an in-process server whose "crash" is a polite
+// shutdown.
+package harness
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// BuildKnowd compiles cmd/knowd into dir and returns the binary path. The
+// go build cache makes repeated calls cheap.
+func BuildKnowd(dir string) (string, error) {
+	bin := filepath.Join(dir, "knowd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/knowd")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("harness: building knowd: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// FreeAddr reserves an ephemeral localhost address and releases it for the
+// daemon to bind. The tiny window between release and bind is the standard
+// test-harness trade for an address that stays stable across restarts.
+func FreeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// Config describes the daemon a harness boots.
+type Config struct {
+	// Bin is the knowd binary (from BuildKnowd).
+	Bin string
+	// Addr is the listen address; pin one with FreeAddr so restarts serve
+	// the same clients. Required.
+	Addr string
+	// StateDir, when set, is passed as -state (and the crash tests add
+	// -write-through via Args).
+	StateDir string
+	// Args are extra knowd flags.
+	Args []string
+	// Logf receives harness events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is one controlled knowd process. Not safe for concurrent control
+// calls; workloads talk to the daemon over HTTP, the harness owns the
+// process.
+type Daemon struct {
+	cfg    Config
+	cmd    *exec.Cmd
+	waited chan error
+}
+
+// New prepares a daemon controller; Start boots it.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Bin == "" || cfg.Addr == "" {
+		return nil, fmt.Errorf("harness: Bin and Addr are required")
+	}
+	return &Daemon{cfg: cfg}, nil
+}
+
+// URL is the daemon's base URL.
+func (d *Daemon) URL() string { return "http://" + d.cfg.Addr }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Start boots the process and blocks until /healthz answers ok (or the
+// timeout lapses and the process is killed). Call again after Kill or
+// Drain to restart over the same address and state dir.
+func (d *Daemon) Start() error {
+	if d.cmd != nil {
+		return fmt.Errorf("harness: daemon already running")
+	}
+	args := []string{"-addr", d.cfg.Addr}
+	if d.cfg.StateDir != "" {
+		args = append(args, "-state", d.cfg.StateDir)
+	}
+	args = append(args, d.cfg.Args...)
+	cmd := exec.Command(d.cfg.Bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("harness: starting knowd: %w", err)
+	}
+	d.cmd = cmd
+	d.waited = make(chan error, 1)
+	go func() { d.waited <- cmd.Wait() }()
+	d.logf("started knowd pid %d on %s", cmd.Process.Pid, d.cfg.Addr)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(d.URL() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case werr := <-d.waited:
+			d.cmd = nil
+			return fmt.Errorf("harness: knowd exited before serving: %v", werr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			d.Kill()
+			return fmt.Errorf("harness: knowd never answered /healthz on %s", d.cfg.Addr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Kill SIGKILLs the process — no drain, no persistence hook, the crash a
+// write-through state file must survive — and reaps it.
+func (d *Daemon) Kill() error {
+	if d.cmd == nil {
+		return fmt.Errorf("harness: daemon not running")
+	}
+	pid := d.cmd.Process.Pid
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-d.waited // reap; SIGKILL exits are expected errors
+	d.cmd = nil
+	d.logf("killed knowd pid %d", pid)
+	return nil
+}
+
+// Drain SIGTERMs the process and waits for the graceful exit.
+func (d *Daemon) Drain(timeout time.Duration) error {
+	if d.cmd == nil {
+		return fmt.Errorf("harness: daemon not running")
+	}
+	pid := d.cmd.Process.Pid
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-d.waited:
+		d.cmd = nil
+		d.logf("drained knowd pid %d", pid)
+		return err
+	case <-time.After(timeout):
+		d.Kill()
+		return fmt.Errorf("harness: knowd pid %d ignored SIGTERM for %v", pid, timeout)
+	}
+}
+
+// Running reports whether the harness currently owns a live process.
+func (d *Daemon) Running() bool { return d.cmd != nil }
+
+// Stop force-stops the daemon if it is still running (cleanup helper).
+func (d *Daemon) Stop() {
+	if d.cmd != nil {
+		d.Kill()
+	}
+}
+
+// GoToolAvailable reports whether the go tool is on PATH (BuildKnowd needs
+// it); tests skip rather than fail on stripped environments.
+func GoToolAvailable() bool {
+	_, err := exec.LookPath("go")
+	return err == nil
+}

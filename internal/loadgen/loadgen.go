@@ -1,0 +1,361 @@
+// Package loadgen is a deterministic load-generator fleet for knowd: a
+// seeded multi-worker client swarm driving mixed workloads — muddy-children
+// announcement ladders, scenario-regime verdict batches, R2-D2 and
+// coordinated-attack sessions — against a live daemon.
+//
+// Determinism is the point. Every choice the generator makes (which system
+// a session opens, how tall its ladder is, which formulas it evaluates,
+// whether it closes) is drawn from an order-independent faults.SubStream
+// keyed by (seed, worker, session), so a fixed seed produces the identical
+// op schedule however the workers interleave at runtime — and two runs of
+// the same seed can be compared op for op and byte for byte. Latency is the
+// only nondeterministic output, and it is kept strictly apart from the
+// comparable record stream: per-op-type log-bucketed histograms, merged
+// across workers in worker order.
+//
+// The fleet runs in two phases. Phase A opens every session and reaches a
+// barrier; phase B drives the session bodies concurrently. The barrier
+// exists for crash-restart harnesses: an open retried across a daemon
+// restart would mint a second session (the dedupe window died with the
+// daemon), so harnesses inject their kill only after the barrier, where
+// every surviving op is protected by an announce link precondition or is
+// a read that may recompute.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// labelScript roots the per-(worker, session) script streams under the
+// fleet seed; worker and session ordinals nest beneath it.
+const labelScript = 0x10ad
+
+// OpKind names the measured op classes; histogram keys.
+type OpKind string
+
+// The op classes one schedule can contain.
+const (
+	OpOpen     OpKind = "open"
+	OpEval     OpKind = "eval"
+	OpAnnounce OpKind = "announce"
+	OpClose    OpKind = "close"
+)
+
+// Op is one scheduled client call.
+type Op struct {
+	Worker  int
+	Session int // session ordinal within the worker
+	Kind    OpKind
+
+	System   string   // open: system spec
+	Seed     int64    // open: session seed
+	Formula  string   // announce: the announced formula
+	Link     int      // announce: chain-position precondition
+	Formulas []string // eval: formula batch
+}
+
+// ID is the op's logical session identity, stable across runs regardless
+// of which server-side session IDs concurrent opens race into.
+func (o Op) ID() string { return fmt.Sprintf("w%ds%d", o.Worker, o.Session) }
+
+// Encode renders the op as one canonical tab-separated line; the schedule
+// dump is the concatenation, and byte-equal dumps mean byte-equal
+// schedules.
+func (o Op) Encode() string {
+	switch o.Kind {
+	case OpOpen:
+		return fmt.Sprintf("%s\topen\t%s\tseed=%d", o.ID(), o.System, o.Seed)
+	case OpEval:
+		return o.ID() + "\teval\t" + strings.Join(o.Formulas, "\t")
+	case OpAnnounce:
+		return fmt.Sprintf("%s\tannounce\t%d\t%s", o.ID(), o.Link, o.Formula)
+	case OpClose:
+		return o.ID() + "\tclose"
+	}
+	return o.ID() + "\t?"
+}
+
+// Mix weights the session script kinds; zero value means DefaultMix.
+type Mix struct {
+	Muddy    int // muddy:N announcement ladders (N in 2..4)
+	Scenario int // scenario-regime verdict batches
+	R2D2     int // R2-D2 temporal probes plus one announcement
+	Attack   int // coordinated-attack delivery announcements
+}
+
+// DefaultMix is the standard workload blend.
+var DefaultMix = Mix{Muddy: 4, Scenario: 2, R2D2: 1, Attack: 1}
+
+func (m Mix) orDefault() Mix {
+	if m == (Mix{}) {
+		return DefaultMix
+	}
+	return m
+}
+
+func (m Mix) total() int { return m.Muddy + m.Scenario + m.R2D2 + m.Attack }
+
+// ParseMix parses the CLI syntax "muddy=4,scenario=2,r2d2=1,attack=1";
+// omitted kinds weigh zero, the empty string is DefaultMix.
+func ParseMix(s string) (Mix, error) {
+	if s == "" {
+		return DefaultMix, nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		kind, val, ok := strings.Cut(part, "=")
+		var w int
+		if ok {
+			if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: bad mix term %q (want kind=weight)", part)
+		}
+		switch kind {
+		case "muddy":
+			m.Muddy = w
+		case "scenario":
+			m.Scenario = w
+		case "r2d2":
+			m.R2D2 = w
+		case "attack":
+			m.Attack = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown mix kind %q", kind)
+		}
+	}
+	if m.total() <= 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+func (m Mix) String() string {
+	return fmt.Sprintf("muddy=%d,scenario=%d,r2d2=%d,attack=%d", m.Muddy, m.Scenario, m.R2D2, m.Attack)
+}
+
+// scenarioRegimes are the regime keys the scenario scripts sample from —
+// the cheap-to-build rows of the sweep (async explodes the run space and
+// has no place in a latency workload).
+var scenarioRegimes = []string{"sync-fixed", "bounded", "lossy", "dup", "drift-within"}
+
+// Config parameterizes a schedule.
+type Config struct {
+	// Seed roots every draw. Default 1.
+	Seed int64
+	// Workers is the fleet size. Default 4.
+	Workers int
+	// Sessions is how many session scripts each worker runs. Default 4.
+	Sessions int
+	// Mix weights the script kinds; zero value means DefaultMix.
+	Mix Mix
+	// CloseProb is the probability a script closes its session at the end.
+	// Crash-restart harnesses set 0 so every final chain stays inspectable.
+	CloseProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	c.Mix = c.Mix.orDefault()
+	return c
+}
+
+// Schedule is a fully materialized op plan: per-worker op lists, with the
+// opens of every script leading (phase A) and the bodies following
+// (phase B).
+type Schedule struct {
+	Cfg   Config
+	Opens [][]Op // phase A, per worker
+	Body  [][]Op // phase B, per worker
+}
+
+// Build materializes the schedule for cfg. Equal configs build
+// byte-identical schedules.
+func Build(cfg Config) *Schedule {
+	cfg = cfg.withDefaults()
+	sc := &Schedule{
+		Cfg:   cfg,
+		Opens: make([][]Op, cfg.Workers),
+		Body:  make([][]Op, cfg.Workers),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		for k := 0; k < cfg.Sessions; k++ {
+			open, body := buildScript(cfg, w, k)
+			sc.Opens[w] = append(sc.Opens[w], open)
+			sc.Body[w] = append(sc.Body[w], body...)
+		}
+	}
+	return sc
+}
+
+// buildScript draws one session's script from its own sub-stream.
+func buildScript(cfg Config, w, k int) (open Op, body []Op) {
+	s := faults.SubStream(cfg.Seed, labelScript, uint64(w), uint64(k))
+	openSeed := int64(s.Uint64()&0x7fffffff) + 1
+	mk := func(kind OpKind) Op { return Op{Worker: w, Session: k, Kind: kind} }
+	eval := func(formulas ...string) Op {
+		op := mk(OpEval)
+		op.Formulas = formulas
+		return op
+	}
+	announce := func(link int, formula string) Op {
+		op := mk(OpAnnounce)
+		op.Link, op.Formula = link, formula
+		return op
+	}
+
+	open = mk(OpOpen)
+	open.Seed = openSeed
+	draw := s.Intn(cfg.Mix.total())
+	switch {
+	case draw < cfg.Mix.Muddy:
+		n := 2 + s.Intn(3) // muddy:2 .. muddy:4
+		open.System = fmt.Sprintf("muddy:%d", n)
+		body = append(body, eval("K0 muddy1", "C ("+muddyFather(n)+")"))
+		body = append(body, announce(0, muddyFather(n)))
+		for link := 1; link < n; link++ {
+			body = append(body, announce(link, muddyNobody(n)))
+		}
+		body = append(body, eval(muddyEveryoneKnows(n)))
+	case draw < cfg.Mix.Muddy+cfg.Mix.Scenario:
+		open.System = "scenario:" + scenarioRegimes[s.Intn(len(scenarioRegimes))]
+		body = append(body, eval("sent", "K0 sent", "C sent"))
+	case draw < cfg.Mix.Muddy+cfg.Mix.Scenario+cfg.Mix.R2D2:
+		open.System = "r2d2"
+		body = append(body, eval("K1 sent", "Ce[1] sent", "Cv sent"))
+		body = append(body, announce(0, "sent"))
+		body = append(body, eval("K1 sent"))
+	default:
+		open.System = "attack"
+		body = append(body, eval("del1", "K0 del1"))
+		body = append(body, announce(0, "del1"))
+		body = append(body, eval("K0 del1"))
+	}
+	if s.Bool(cfg.CloseProb) {
+		body = append(body, mk(OpClose))
+	}
+	return open, body
+}
+
+// muddyFather is the father's announcement: at least one child is muddy.
+func muddyFather(n int) string {
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("muddy%d", i)
+	}
+	return strings.Join(terms, " | ")
+}
+
+// muddyNobody is the round announcement that no child knows its own state.
+func muddyNobody(n int) string {
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("~(K%d muddy%d | K%d ~muddy%d)", i, i, i, i)
+	}
+	return strings.Join(terms, " & ")
+}
+
+// muddyEveryoneKnows is the post-ladder probe: every child knows it is
+// muddy (all-muddy is the marked world, so the full ladder makes it hold).
+func muddyEveryoneKnows(n int) string {
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("K%d muddy%d", i, i)
+	}
+	return strings.Join(terms, " & ")
+}
+
+// Ops returns every op in canonical order: phase A worker-major, then
+// phase B worker-major.
+func (s *Schedule) Ops() []Op {
+	var out []Op
+	for _, ops := range s.Opens {
+		out = append(out, ops...)
+	}
+	for _, ops := range s.Body {
+		out = append(out, ops...)
+	}
+	return out
+}
+
+// NumOps is the schedule's total op count.
+func (s *Schedule) NumOps() int {
+	n := 0
+	for _, ops := range s.Opens {
+		n += len(ops)
+	}
+	for _, ops := range s.Body {
+		n += len(ops)
+	}
+	return n
+}
+
+// CountByKind tallies scheduled ops per kind.
+func (s *Schedule) CountByKind() map[OpKind]int {
+	out := make(map[OpKind]int)
+	for _, op := range s.Ops() {
+		out[op.Kind]++
+	}
+	return out
+}
+
+// Encode writes the schedule's canonical dump: one Encode line per op in
+// canonical order. Byte-equal dumps mean byte-equal schedules, which is
+// what `knowload -dry -seed S` pins.
+func (s *Schedule) Encode(w io.Writer) error {
+	for _, op := range s.Ops() {
+		if _, err := fmt.Fprintln(w, op.Encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FinalLinks maps each logical session ID to the chain link its script
+// ends at (announces applied, before any close). Harnesses compare this
+// against the live daemon to prove no chain advance was lost or doubled.
+// Closed sessions are omitted.
+func (s *Schedule) FinalLinks() map[string]int {
+	links := make(map[string]int)
+	for _, ops := range s.Opens {
+		for _, op := range ops {
+			links[op.ID()] = 0
+		}
+	}
+	for _, ops := range s.Body {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpAnnounce:
+				links[op.ID()]++
+			case OpClose:
+				delete(links, op.ID())
+			}
+		}
+	}
+	return links
+}
+
+// sortedIDs returns links' keys in deterministic order (for renderers).
+func sortedIDs(links map[string]int) []string {
+	ids := make([]string, 0, len(links))
+	for id := range links {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

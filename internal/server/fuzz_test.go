@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStateRestore hammers LoadSessions with arbitrary bytes in place of
+// sessions.json. A corrupted, truncated, or hand-edited state file must
+// produce an error or skipped records — never a panic — and whatever does
+// restore must leave the daemon fully serviceable (the session list
+// endpoint parses every restored ID).
+func FuzzStateRestore(f *testing.F) {
+	// A genuine state file as the happy-path seed.
+	{
+		dir := f.TempDir()
+		s := New(Config{StateDir: dir})
+		ts := httptest.NewServer(s.Handler())
+		st, _ := http.Post(ts.URL+"/v1/sessions", "application/json",
+			bytes.NewReader([]byte(`{"system":"muddy:3","seed":1}`)))
+		if st != nil {
+			st.Body.Close()
+		}
+		if _, err := s.SaveSessions(); err != nil {
+			f.Fatal(err)
+		}
+		ts.Close()
+		data, err := os.ReadFile(filepath.Join(dir, "sessions.json"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2]) // truncated mid-record
+	}
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"sessions":[{"id":"x9","system":"muddy:3","seed":1}]}`))
+	f.Add([]byte(`{"sessions":[{"id":"s","system":"muddy:3"},{"id":"","system":""}]}`))
+	f.Add([]byte(`{"sessions":[{"id":"s1","system":"quantum:99","seed":1}]}`))
+	f.Add([]byte(`{"sessions":[{"id":"s1","system":"muddy:2","seed":1,"worlds":999}]}`))
+	f.Add([]byte(`{"sessions":null}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "sessions.json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{StateDir: dir})
+		n, err := s.LoadSessions()
+		if err != nil {
+			return // corrupt files must error, and did
+		}
+		if n < 0 {
+			t.Fatalf("restored %d sessions", n)
+		}
+		// Restored IDs must survive every downstream parser: the list
+		// endpoint sorts by slicing the leading byte off each ID.
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("session list after restore: %d %s", rec.Code, rec.Body)
+		}
+	})
+}
+
+// FuzzRequestDecoding throws arbitrary bodies at every POST endpoint. Any
+// status is acceptable; a panic is not — the recovery middleware counts
+// panics, and the counter must stay zero.
+func FuzzRequestDecoding(f *testing.F) {
+	f.Add([]byte(`{"system":"muddy:3","seed":1}`))
+	f.Add([]byte(`{"formulas":["K0 muddy1","C (muddy0 | muddy1)"]}`))
+	f.Add([]byte(`{"formula":"muddy0 | muddy1","link":0}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"system":1e999}`))
+	f.Add([]byte(`{"formulas":"not-a-list"}`))
+	f.Add([]byte(`{"formula":"(((((","link":-1}`))
+	f.Add([]byte("{\"system\":\"muddy:3\",\"seed\":1,\"x\":\"\x00\xff\"}"))
+
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	f.Cleanup(ts.Close)
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+		bytes.NewReader([]byte(`{"system":"muddy:2","seed":1}`)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	resp.Body.Close()
+
+	paths := []string{"/v1/sessions", "/v1/sessions/s1/eval", "/v1/sessions/s1/announce"}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, path := range paths {
+			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("POST %s: %v", path, err)
+			}
+			resp.Body.Close()
+		}
+		if n := s.StatsSnapshot().Panics; n != 0 {
+			t.Fatalf("handler panicked %d times on body %q", n, body)
+		}
+	})
+}

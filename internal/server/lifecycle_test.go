@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// TestTTLEvictionVirtualClock drives the idle-session janitor from a
+// simclock virtual clock: the server's injectable now and tick source are
+// both derived from the clock, the clock jumps past the TTL (the
+// clock-drift regime: wall time leaps while the session sits idle), and
+// the janitor evicts — with zero wall-clock sleeps anywhere in the test.
+func TestTTLEvictionVirtualClock(t *testing.T) {
+	clk := simclock.New(0)
+	base := time.Unix(1700000000, 0)
+
+	s, ts := newTestServer(t, Config{SessionTTL: time.Minute})
+	s.now = func() time.Time { return base.Add(time.Duration(clk.Now()) * time.Second) }
+	tickc := make(chan time.Time) // unbuffered: sends rendezvous with the janitor
+	s.tick = func(d time.Duration) (<-chan time.Time, func()) {
+		if d != 15*time.Second {
+			t.Errorf("janitor tick period %v, want SessionTTL/4", d)
+		}
+		return tickc, func() {}
+	}
+	s.startJanitor()
+	t.Cleanup(func() { close(s.janitorStop) })
+
+	code, body := do(t, ts, "POST", "/v1/sessions", OpenRequest{System: "muddy:2"}, "")
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d: %s", code, body)
+	}
+	sid := decode[SessionState](t, body).Session
+
+	// The eviction ticker is simclock-driven: every 15 virtual seconds a
+	// timer fires and hands the janitor one tick. Because tickc is
+	// unbuffered, each Advance below returns only after the janitor has
+	// accepted every tick the window contained.
+	var schedule func()
+	schedule = func() {
+		if _, err := clk.AfterFunc(15, func() { tickc <- time.Time{}; schedule() }); err != nil {
+			t.Errorf("schedule tick: %v", err)
+		}
+	}
+	schedule()
+
+	// 30 virtual seconds: two ticks, both before the TTL — no eviction.
+	if err := clk.Advance(30); err != nil {
+		t.Fatal(err)
+	}
+	tickc <- time.Time{} // barrier: the janitor finished the previous sweep
+	if s.session(sid) == nil {
+		t.Fatal("session evicted before its TTL")
+	}
+
+	// Jump the clock well past the TTL; the next tick evicts.
+	if err := clk.Advance(90); err != nil {
+		t.Fatal(err)
+	}
+	tickc <- time.Time{} // barrier again
+	if s.session(sid) != nil {
+		t.Fatal("idle session survived a jumped clock past its TTL")
+	}
+	if got := s.StatsSnapshot().Evicted; got != 1 {
+		t.Fatalf("evicted counter %d, want 1", got)
+	}
+}
+
+// TestAnnounceLinkPrecondition pins the CAS semantics that make announces
+// exactly-once across restarts: matching link applies, the
+// already-applied retry shape replays without advancing, and a genuine
+// mismatch is a 409.
+func TestAnnounceLinkPrecondition(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	code, body := do(t, ts, "POST", "/v1/sessions", OpenRequest{System: "muddy:3"}, "")
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d: %s", code, body)
+	}
+	sid := decode[SessionState](t, body).Session
+	link := func(n int) *int { return &n }
+	father := "muddy0 | muddy1 | muddy2"
+
+	code, body = do(t, ts, "POST", "/v1/sessions/"+sid+"/announce",
+		AnnounceRequest{Formula: father, Link: link(0)}, "")
+	if code != http.StatusOK {
+		t.Fatalf("announce at link 0: %d: %s", code, body)
+	}
+	applied := decode[SessionState](t, body)
+	if applied.Link != 1 || applied.Worlds != 7 {
+		t.Fatalf("applied state: %+v", applied)
+	}
+
+	// The lost-response retry: same formula, stale link — replayed, not
+	// re-applied, byte for byte the state the original produced.
+	code, retry := do(t, ts, "POST", "/v1/sessions/"+sid+"/announce",
+		AnnounceRequest{Formula: father, Link: link(0)}, "")
+	if code != http.StatusOK || !bytes.Equal(retry, body) {
+		t.Fatalf("retry replay: %d: %s (want %s)", code, retry, body)
+	}
+	st := s.StatsSnapshot()
+	if st.Announces != 1 || st.Replays != 1 {
+		t.Fatalf("counters after replay: announces %d replays %d", st.Announces, st.Replays)
+	}
+
+	// A different formula at the stale link is a conflict, not a replay.
+	code, body = do(t, ts, "POST", "/v1/sessions/"+sid+"/announce",
+		AnnounceRequest{Formula: "muddy0", Link: link(0)}, "")
+	if code != http.StatusConflict {
+		t.Fatalf("stale link, different formula: %d: %s", code, body)
+	}
+	// A link in the future is a conflict too.
+	code, body = do(t, ts, "POST", "/v1/sessions/"+sid+"/announce",
+		AnnounceRequest{Formula: father, Link: link(5)}, "")
+	if code != http.StatusConflict {
+		t.Fatalf("future link: %d: %s", code, body)
+	}
+	if got := s.StatsSnapshot().Announces; got != 1 {
+		t.Fatalf("conflicts advanced the chain: %d announces", got)
+	}
+	// No precondition keeps the old behavior.
+	code, body = do(t, ts, "POST", "/v1/sessions/"+sid+"/announce",
+		AnnounceRequest{Formula: "muddy1"}, "")
+	if code != http.StatusOK {
+		t.Fatalf("unconditional announce: %d: %s", code, body)
+	}
+}
+
+// TestWriteThroughPersistence: with WriteThrough set every mutation lands
+// on disk immediately, so a daemon that dies without draining (the SIGKILL
+// path) restarts with the chains it had — and an eviction is persisted
+// too, so reclaimed sessions stay dead across the restart.
+func TestWriteThroughPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StateDir: dir, WriteThrough: true, SessionTTL: time.Minute})
+	base := time.Unix(1700000000, 0)
+	s1.now = func() time.Time { return base }
+
+	code, body := do(t, ts1, "POST", "/v1/sessions", OpenRequest{System: "muddy:3"}, "")
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d: %s", code, body)
+	}
+	sid := decode[SessionState](t, body).Session
+	path := filepath.Join(dir, "sessions.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("open not written through: %v", err)
+	}
+	if code, body = do(t, ts1, "POST", "/v1/sessions/"+sid+"/announce",
+		AnnounceRequest{Formula: "muddy0 | muddy1 | muddy2"}, ""); code != http.StatusOK {
+		t.Fatalf("announce: %d: %s", code, body)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf stateFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Sessions) != 1 || len(sf.Sessions[0].Announced) != 1 {
+		t.Fatalf("announce not written through: %s", data)
+	}
+
+	// No drain, no Shutdown: a fresh daemon over the same dir restores the
+	// chain exactly as written through.
+	s2, _ := newTestServer(t, Config{StateDir: dir})
+	if n, err := s2.LoadSessions(); err != nil || n != 1 {
+		t.Fatalf("crash restore: %d sessions, %v", n, err)
+	}
+	restored := s2.session(sid)
+	if restored == nil || len(restored.announced) != 1 {
+		t.Fatalf("restored chain wrong: %+v", restored)
+	}
+
+	// Eviction persists too.
+	s1.evictIdle(base.Add(2 * time.Minute))
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sf); err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Sessions) != 0 {
+		t.Fatalf("eviction not written through: %s", data)
+	}
+}
+
+// TestLoadSessionsRejectsMalformedIDs: a state file with hand-edited IDs
+// must be skipped per session, never panic the daemon (the list and
+// next-ID paths slice id[1:]).
+func TestLoadSessionsRejectsMalformedIDs(t *testing.T) {
+	dir := t.TempDir()
+	sf := stateFile{Sessions: []persistedSession{
+		{ID: "", System: "muddy:2", Worlds: 4, Quotient: 4, Marked: 3},
+		{ID: "x9", System: "muddy:2", Worlds: 4, Quotient: 4, Marked: 3},
+		{ID: "s", System: "muddy:2", Worlds: 4, Quotient: 4, Marked: 3},
+		{ID: "s2v1", System: "muddy:2", Worlds: 4, Quotient: 4, Marked: 3},
+	}}
+	data, err := json.Marshal(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sessions.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{StateDir: dir})
+	n, err := s.LoadSessions()
+	if err != nil || n != 0 {
+		t.Fatalf("restored %d malformed sessions, err %v", n, err)
+	}
+	// The daemon still lists and opens sessions without tripping over a
+	// malformed restored ID.
+	if code, body := do(t, ts, "GET", "/v1/sessions", nil, ""); code != http.StatusOK {
+		t.Fatalf("list after restore: %d: %s", code, body)
+	}
+	if code, body := do(t, ts, "POST", "/v1/sessions", OpenRequest{System: "muddy:2"}, ""); code != http.StatusCreated {
+		t.Fatalf("open after restore: %d: %s", code, body)
+	}
+}

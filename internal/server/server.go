@@ -59,6 +59,12 @@ type Config struct {
 	// StateDir, when non-empty, is where Shutdown persists session state
 	// (sessions.json) and LoadSessions restores it from.
 	StateDir string
+	// WriteThrough, with StateDir set, persists sessions.json after every
+	// successful mutating request instead of only on drain, so a session
+	// chain survives a crash (SIGKILL) that never reaches Shutdown. The
+	// window of loss is exactly the in-flight request, which the announce
+	// link precondition makes safe to retry.
+	WriteThrough bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -124,9 +130,16 @@ type EvalResponse struct {
 	Verdicts []Verdict `json:"verdicts"`
 }
 
-// AnnounceRequest publicly announces a formula on a session.
+// AnnounceRequest publicly announces a formula on a session. Link, when
+// non-nil, is a chain-position precondition that makes the announce
+// exactly-once across crash-restarts, where the in-memory dedupe window
+// cannot help: at link == len(chain) the announcement applies normally; at
+// link == len(chain)-1 with the identical formula the request is a retry
+// of an already-applied announce (the response was lost) and replays the
+// current state without advancing the chain; anything else is a 409.
 type AnnounceRequest struct {
 	Formula string `json:"formula"`
+	Link    *int   `json:"link,omitempty"`
 }
 
 // Stats is the daemon's counter snapshot.
@@ -138,6 +151,7 @@ type Stats struct {
 	Restored   int64 `json:"restored"`
 	Evals      int64 `json:"evals"`
 	Announces  int64 `json:"announces"`
+	Replays    int64 `json:"announce_replays"`
 	DedupeHits int64 `json:"dedupe_hits"`
 	Shed       int64 `json:"shed"`
 	Panics     int64 `json:"panics"`
@@ -157,6 +171,11 @@ type Server struct {
 	mux  *http.ServeMux
 	http *http.Server
 	now  func() time.Time // injectable for eviction tests
+	// tick is the janitor's tick source; the default wraps time.NewTicker.
+	// Tests replace it (together with now) to drive TTL eviction from a
+	// virtual clock with zero wall-clock sleeps — the returned stop func is
+	// called when the janitor exits.
+	tick func(d time.Duration) (<-chan time.Time, func())
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -166,20 +185,28 @@ type Server struct {
 	sem      chan struct{}
 	draining atomic.Bool
 
+	// persistMu serializes write-through snapshots so a slow writer can
+	// never clobber sessions.json with an older snapshot than a fast one.
+	persistMu sync.Mutex
+
 	janitorOnce sync.Once
 	janitorStop chan struct{}
 
 	opened, closed, evicted, restored atomic.Int64
-	evals, announces, dedupeHits      atomic.Int64
-	shed, panics                      atomic.Int64
+	evals, announces, replays         atomic.Int64
+	dedupeHits, shed, panics          atomic.Int64
 }
 
 // New builds a daemon from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:         cfg,
-		now:         time.Now,
+		cfg: cfg,
+		now: time.Now,
+		tick: func(d time.Duration) (<-chan time.Time, func()) {
+			t := time.NewTicker(d)
+			return t.C, t.Stop
+		},
 		sessions:    make(map[string]*session),
 		dedupe:      newDedupeWindow(cfg.DedupeWindow),
 		sem:         make(chan struct{}, cfg.Queue),
@@ -236,13 +263,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) startJanitor() {
 	s.janitorOnce.Do(func() {
 		go func() {
-			t := time.NewTicker(s.cfg.SessionTTL / 4)
-			defer t.Stop()
+			c, stop := s.tick(s.cfg.SessionTTL / 4)
+			defer stop()
 			for {
 				select {
 				case <-s.janitorStop:
 					return
-				case <-t.C:
+				case <-c:
 					s.evictIdle(s.now())
 				}
 			}
@@ -253,13 +280,20 @@ func (s *Server) startJanitor() {
 // evictIdle drops sessions idle longer than SessionTTL.
 func (s *Server) evictIdle(now time.Time) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	dropped := 0
 	for id, ss := range s.sessions {
 		if now.Sub(ss.lastUsed) > s.cfg.SessionTTL {
 			delete(s.sessions, id)
 			s.evicted.Add(1)
+			dropped++
 			s.logf("evicted idle session %s (%s)", id, ss.ld.spec)
 		}
+	}
+	s.mu.Unlock()
+	if dropped > 0 {
+		// Evictions are mutations too: without a fresh snapshot a restart
+		// would resurrect sessions the TTL already reclaimed.
+		s.persistWriteThrough()
 	}
 }
 
@@ -439,6 +473,7 @@ func (s *Server) StatsSnapshot() Stats {
 		Restored:   s.restored.Load(),
 		Evals:      s.evals.Load(),
 		Announces:  s.announces.Load(),
+		Replays:    s.replays.Load(),
 		DedupeHits: s.dedupeHits.Load(),
 		Shed:       s.shed.Load(),
 		Panics:     s.panics.Load(),
@@ -466,7 +501,20 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	s.sessions[ss.id] = ss
 	s.mu.Unlock()
 	s.opened.Add(1)
+	s.persistWriteThrough()
 	writeJSON(w, http.StatusCreated, s.stateOf(ss))
+}
+
+// persistWriteThrough snapshots session state to disk after a mutation
+// when write-through persistence is on. Failures are logged, not fatal:
+// the daemon keeps serving from memory and the next mutation retries.
+func (s *Server) persistWriteThrough() {
+	if !s.cfg.WriteThrough || s.cfg.StateDir == "" {
+		return
+	}
+	if _, err := s.SaveSessions(); err != nil {
+		s.logf("write-through persistence failed: %v", err)
+	}
 }
 
 // stateOf snapshots a session's chain state; callers hold ss.mu or have
@@ -598,14 +646,38 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	ss.touch(s.now())
+	if req.Link != nil {
+		switch at := len(ss.announced); {
+		case *req.Link == at:
+			// Precondition holds: apply below.
+		case *req.Link == at-1 && ss.announced[at-1] == req.Formula:
+			// A retry of the announce that created the current link: the
+			// original executed but its response was lost (severed wire,
+			// daemon crash after persisting). Replay the state instead of
+			// advancing the chain a second time.
+			st := s.stateOf(ss)
+			ss.mu.Unlock()
+			s.replays.Add(1)
+			writeJSON(w, http.StatusOK, st)
+			return
+		default:
+			ss.mu.Unlock()
+			writeErr(w, http.StatusConflict,
+				fmt.Sprintf("link precondition %d does not match chain at link %d", *req.Link, at))
+			return
+		}
+	}
 	if err := ss.announce(req.Formula, f); err != nil {
+		ss.mu.Unlock()
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	st := s.stateOf(ss)
+	ss.mu.Unlock()
 	s.announces.Add(1)
-	writeJSON(w, http.StatusOK, s.stateOf(ss))
+	s.persistWriteThrough()
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
@@ -621,6 +693,7 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.closed.Add(1)
+	s.persistWriteThrough()
 	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
 }
 
@@ -657,11 +730,15 @@ type stateFile struct {
 }
 
 // SaveSessions writes every live session's chain record to
-// StateDir/sessions.json and returns the path written.
+// StateDir/sessions.json and returns the path written. Concurrent calls
+// are serialized, and each writes the state current at its own write time,
+// so the file on disk is always the newest snapshot taken.
 func (s *Server) SaveSessions() (string, error) {
 	if s.cfg.StateDir == "" {
 		return "", fmt.Errorf("server: no StateDir configured")
 	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
 	s.mu.Lock()
 	var sf stateFile
 	for _, ss := range s.sessions {
@@ -727,6 +804,10 @@ func (s *Server) LoadSessions() (int, error) {
 	restored := 0
 	maxID := int64(0)
 	for _, ps := range sf.Sessions {
+		if !validSessionID(ps.ID) {
+			s.logf("skipping persisted session with malformed id %q", ps.ID)
+			continue
+		}
 		ld, err := loadSystem(ps.System, ps.Seed)
 		if err != nil {
 			s.logf("skipping persisted session %s: %v", ps.ID, err)
@@ -770,4 +851,20 @@ func blocksEqual(a, b []int) bool {
 		return false
 	}
 	return slices.Equal(a, b)
+}
+
+// validSessionID reports whether id has the server-assigned "s<digits>"
+// shape. Restore refuses anything else: every ID consumer (the session
+// list sort, the next-ID bump) slices off the leading byte and parses the
+// rest, and a hand-edited state file must not be able to panic the daemon.
+func validSessionID(id string) bool {
+	if len(id) < 2 || id[0] != 's' {
+		return false
+	}
+	for i := 1; i < len(id); i++ {
+		if id[i] < '0' || id[i] > '9' {
+			return false
+		}
+	}
+	return true
 }

@@ -9,13 +9,15 @@
 #   internal/faults   >= 70   (seeded fault plans: the chaos substrate)
 #   internal/scenario >= 70   (regime builder behind scenariosim and knowd)
 #   internal/server   >= 70   (the serving layer's robustness machinery)
+#   internal/client   >= 80   (retry/breaker/idempotency-key internals)
+#   internal/chaosproxy >= 80 (fault-injecting proxy: message + byte fates)
 #
 # Usage: scripts/cover.sh [profile.out]
 #
 # The profile is left at the given path (default coverage.out) so CI can
 # upload it as an artifact. COVER_THRESHOLD overrides the kripke gate;
-# COVER_THRESHOLD_<PKG> (RUNS, PROTOCOL, FAULTS, SCENARIO, SERVER)
-# override the others.
+# COVER_THRESHOLD_<PKG> (RUNS, PROTOCOL, FAULTS, SCENARIO, SERVER,
+# CLIENT, CHAOSPROXY) override the others.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,6 +60,8 @@ check internal/protocol "${COVER_THRESHOLD_PROTOCOL:-70}"
 check internal/faults "${COVER_THRESHOLD_FAULTS:-70}"
 check internal/scenario "${COVER_THRESHOLD_SCENARIO:-70}"
 check internal/server "${COVER_THRESHOLD_SERVER:-70}"
+check internal/client "${COVER_THRESHOLD_CLIENT:-80}"
+check internal/chaosproxy "${COVER_THRESHOLD_CHAOSPROXY:-80}"
 echo "repo total: ${overall}"
 
 exit "$fail"

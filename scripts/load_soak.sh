@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# load_soak.sh — advisory load soak: a knowload fleet drives a live knowd
+# daemon and, mid-run, the daemon is SIGKILLed and restarted over its
+# write-through state. The retrying fleet must finish with zero failed
+# ops, proving the exactly-once-across-restart contract holds outside the
+# Go test harness too. Produces LOAD_REPORT.md for CI to upload.
+#
+# Tunables (env): LOAD_SOAK_SEED (default 1), LOAD_SOAK_WORKERS (4),
+# LOAD_SOAK_SESSIONS (6), LOAD_SOAK_PACE (100ms — stretches the run so the
+# crash lands mid-workload), LOAD_SOAK_ADDR (127.0.0.1:7461).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEED="${LOAD_SOAK_SEED:-1}"
+WORKERS="${LOAD_SOAK_WORKERS:-4}"
+SESSIONS="${LOAD_SOAK_SESSIONS:-6}"
+PACE="${LOAD_SOAK_PACE:-100ms}"
+ADDR="${LOAD_SOAK_ADDR:-127.0.0.1:7461}"
+
+BIN="$(mktemp -d)"
+STATE="$(mktemp -d)"
+trap 'kill "$KNOWD_PID" 2>/dev/null || true; rm -rf "$BIN" "$STATE"' EXIT
+
+go build -o "$BIN/knowd" ./cmd/knowd
+go build -o "$BIN/knowctl" ./cmd/knowctl
+go build -o "$BIN/knowload" ./cmd/knowload
+
+start_knowd() {
+    "$BIN/knowd" -addr "$ADDR" -state "$STATE" -write-through >>"$BIN/knowd.log" 2>&1 &
+    KNOWD_PID=$!
+    for _ in $(seq 1 200); do
+        if "$BIN/knowctl" -addr "http://$ADDR" stats >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "load_soak: knowd never became healthy" >&2
+    cat "$BIN/knowd.log" >&2
+    exit 1
+}
+
+start_knowd
+echo "load_soak: knowd up as pid $KNOWD_PID, state in $STATE"
+
+"$BIN/knowload" -addr "http://$ADDR" -seed "$SEED" -workers "$WORKERS" \
+    -sessions "$SESSIONS" -pace "$PACE" -max-attempts 60 -report LOAD_REPORT.md &
+LOAD_PID=$!
+
+# Let the fleet get past its open phase and into the session bodies, then
+# crash the daemon cold and bring it back over the same state.
+sleep 1
+echo "load_soak: SIGKILL knowd pid $KNOWD_PID mid-run"
+kill -9 "$KNOWD_PID"
+wait "$KNOWD_PID" 2>/dev/null || true
+start_knowd
+echo "load_soak: knowd restarted as pid $KNOWD_PID"
+
+if ! wait "$LOAD_PID"; then
+    echo "load_soak: knowload reported failed ops" >&2
+    cat "$BIN/knowd.log" >&2
+    exit 1
+fi
+
+"$BIN/knowctl" -addr "http://$ADDR" stats
+kill -TERM "$KNOWD_PID"
+wait "$KNOWD_PID" 2>/dev/null || true
+echo "load_soak: done; report in LOAD_REPORT.md"
