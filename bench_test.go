@@ -12,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/kripke"
 	"repro/internal/logic"
 	"repro/internal/muddy"
@@ -378,6 +379,48 @@ func BenchmarkAblationScenarioSweep(b *testing.B) {
 				}
 				if len(steps) == 0 {
 					b.Fatal("empty ladder")
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the gossip revelation chain — tens of public call revelations
+// over a hundreds-of-worlds deviation universe, re-minimizing and
+// batch-evaluating the verdict tower after every link. The incremental arm
+// threads quotient block maps and reachability seeds through
+// RestrictWithQuotient; the scratch arm restricts with zero inheritance and
+// refines from the trivial partition every link. Unlike the redundantChain
+// workload, a deviation universe has a near-trivial quotient (synchronous
+// perfect recall makes almost every world its own block), so the two arms
+// are expected to run close together: this ablation pins the overhead of
+// threading inheritance through a workload it cannot compress, and the CI
+// gate guards each arm against regressions separately. Universe sampling
+// and model construction run inside the loop on both arms, mirroring how
+// gossipsim consumes a chain.
+func BenchmarkAblationGossipChain(b *testing.B) {
+	const calls = "ab.cd.ef.ac.be.df.ae.bf.cd.ab.ce.df.ad.bc.ef.af.bd.ce.ab.cf.de.ac.bd.ef"
+	const agents, perLink = 6, 12
+	actual, err := gossip.ParseSequence(calls, agents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		inc  bool
+	}{{"incremental", true}, {"scratch", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				u := gossip.SampleDeviations(gossip.Any, agents, actual, perLink, 1)
+				m := u.Model()
+				res, err := m.RevealChain(actual, gossip.ChainOptions{Incremental: mode.inc, Workers: 1, Depth: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := res.Steps[len(res.Steps)-1]
+				if last.Worlds != 1 || !last.Common {
+					b.Fatalf("chain should end on the actual world alone with C attained, got %+v", last)
 				}
 			}
 		})

@@ -1,0 +1,136 @@
+package gossip
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCallsAlphabet(t *testing.T) {
+	calls := Calls(3)
+	if len(calls) != 6 {
+		t.Fatalf("Calls(3) has %d calls, want 6", len(calls))
+	}
+	var keys []string
+	for _, c := range calls {
+		keys = append(keys, c.String())
+	}
+	if got := strings.Join(keys, " "); got != "ab ac ba bc ca cb" {
+		t.Fatalf("Calls(3) = %q", got)
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	const s = "ab.cd.ac.bd"
+	seq, err := ParseSequence(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.String(); got != s {
+		t.Fatalf("round trip %q -> %q", s, got)
+	}
+	if seq, err := ParseSequence("", 4); err != nil || seq != nil {
+		t.Fatalf("empty sequence parsed to (%v, %v)", seq, err)
+	}
+}
+
+func TestParseSequenceErrors(t *testing.T) {
+	for _, bad := range []string{"abc", "a", "ae", "ea", "aa", "ab..cd", "ab.c"} {
+		if _, err := ParseSequence(bad, 4); err == nil {
+			t.Errorf("ParseSequence(%q, 4) should fail", bad)
+		}
+	}
+}
+
+// TestClassicFourAgentExpert replays the textbook 2n-4 sequence for four
+// agents: after ab.cd.ac.bd everyone is an expert.
+func TestClassicFourAgentExpert(t *testing.T) {
+	st := NewState(4)
+	seq, err := ParseSequence("ab.cd.ac.bd", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AllExpert() {
+		t.Fatal("fresh state should not be all-expert")
+	}
+	if got := st.Apply(seq[0]); got != 0b0011 {
+		t.Fatalf("ab exchanged %04b, want 0011", got)
+	}
+	for _, c := range seq[1:] {
+		st.Apply(c)
+	}
+	for i := 0; i < 4; i++ {
+		if !st.Expert(i) {
+			t.Errorf("agent %c is not an expert after %s", 'a'+byte(i), seq)
+		}
+	}
+	if !st.AllExpert() {
+		t.Error("AllExpert should hold")
+	}
+	st.Reset()
+	if st.AllExpert() || st.Fam[2] != 1<<2 {
+		t.Error("Reset did not restore the initial situation")
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	st := NewState(3)
+	ab := Call{0, 1}
+	st.Apply(ab)
+	if st.Admissible(CO, ab) || st.Admissible(CO, Call{1, 0}) {
+		t.Error("CO should forbid re-calling a used pair in either direction")
+	}
+	if !st.Admissible(CO, Call{0, 2}) {
+		t.Error("CO should allow a fresh pair")
+	}
+	if st.Admissible(LNS, ab) || st.Admissible(LNS, Call{1, 0}) {
+		t.Error("LNS should forbid calling an agent whose secret the caller knows")
+	}
+	if !st.Admissible(LNS, Call{2, 0}) {
+		t.Error("LNS should allow calling with an unfamiliar secret")
+	}
+	if !st.Admissible(Any, ab) {
+		t.Error("ANY should allow repeats")
+	}
+	for _, c := range []Call{{0, 0}, {0, 3}, {3, 0}} {
+		if st.Admissible(Any, c) {
+			t.Errorf("call %v should be inadmissible for 3 agents", c)
+		}
+	}
+}
+
+func TestConventionKeys(t *testing.T) {
+	for _, v := range Conventions() {
+		got, err := ParseConvention(v.Key())
+		if err != nil || got != v {
+			t.Errorf("ParseConvention(%q) = (%v, %v), want %v", v.Key(), got, err, v)
+		}
+	}
+	if _, err := ParseConvention("bogus"); err == nil {
+		t.Error("ParseConvention should reject unknown keys")
+	}
+	if Convention(9).Key() != "conv9" {
+		t.Error("out-of-range convention key")
+	}
+}
+
+func TestNewStatePanics(t *testing.T) {
+	for _, n := range []int{1, MaxAgents + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewState(%d) should panic", n)
+				}
+			}()
+			NewState(n)
+		}()
+	}
+}
+
+func TestProps(t *testing.T) {
+	if got := FamProp(0, 2); got != "fam:ac" {
+		t.Errorf("FamProp(0,2) = %q", got)
+	}
+	if got := ExpertProp(3); got != "expert:d" {
+		t.Errorf("ExpertProp(3) = %q", got)
+	}
+}

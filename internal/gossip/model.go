@@ -1,0 +1,126 @@
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+// FamProp is the ground fact "agent i is familiar with j's secret at
+// termination", rendered with agent letters: fam:ab.
+func FamProp(i, j int) string {
+	return "fam:" + string([]byte{'a' + byte(i), 'a' + byte(j)})
+}
+
+// ExpertProp is the ground fact "agent i is an expert at termination".
+func ExpertProp(i int) string { return "expert:" + string([]byte{'a' + byte(i)}) }
+
+// AllExpertProp is the ground fact "every agent is an expert at
+// termination" — the formula all verdict towers are about.
+const AllExpertProp = "allexpert"
+
+// Model is the terminal epistemic model of a universe: one world per
+// candidate sequence, secret-distribution valuation columns, and per-agent
+// indistinguishability from call observability.
+type Model struct {
+	U *Universe
+	M *kripke.Model
+}
+
+// Model builds the Kripke model of the universe in one columnar pass.
+// Every sequence is replayed once: the replay writes the terminal
+// familiarity columns and collects, per agent, the observation log its
+// partition key is built from — (position, role, peer, exchanged secret
+// set) for each call the agent took part in. Two sequences land in the
+// same class of agent a exactly when a cannot tell them apart after
+// running either to completion (synchronous perfect recall).
+func (u *Universe) Model() *Model {
+	if len(u.Seqs) == 0 {
+		panic("gossip: cannot build a model over an empty universe")
+	}
+	n, w := u.N, len(u.Seqs)
+	b := kripke.NewBuilder(w, n)
+
+	fam := make([][]*bitset.Set, n)
+	expert := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		fam[i] = make([]*bitset.Set, n)
+		for j := 0; j < n; j++ {
+			fam[i][j] = b.Column(FamProp(i, j))
+		}
+		expert[i] = b.Column(ExpertProp(i))
+	}
+	all := b.Column(AllExpertProp)
+
+	names := make([]string, w)
+	keys := make([][]string, n)
+	for a := 0; a < n; a++ {
+		keys[a] = make([]string, w)
+	}
+	bufs := make([][]byte, n)
+	st := NewState(n)
+	for wi, seq := range u.Seqs {
+		st.Reset()
+		for a := range bufs {
+			bufs[a] = bufs[a][:0]
+		}
+		for t, c := range seq {
+			union := st.Apply(c)
+			bufs[c.Caller] = appendObs(bufs[c.Caller], t, 0, c.Callee, union)
+			bufs[c.Callee] = appendObs(bufs[c.Callee], t, 1, c.Caller, union)
+		}
+		allExpert := true
+		for i := 0; i < n; i++ {
+			keys[i][wi] = string(bufs[i])
+			for j := 0; j < n; j++ {
+				if st.Fam[i]&(1<<j) != 0 {
+					fam[i][j].Add(wi)
+				}
+			}
+			if st.Expert(i) {
+				expert[i].Add(wi)
+			} else {
+				allExpert = false
+			}
+		}
+		if allExpert {
+			all.Add(wi)
+		}
+		names[wi] = seq.String()
+	}
+	b.Names(names)
+	for a := 0; a < n; a++ {
+		ks := keys[a]
+		b.PartitionFromKeys(a, func(w int) string { return ks[w] })
+	}
+	return &Model{U: u, M: b.Build()}
+}
+
+// appendObs encodes one observed call into an agent's partition key:
+// position, role (caller/callee), peer, and the exchanged secret union.
+func appendObs(buf []byte, t, role int, peer uint8, union uint16) []byte {
+	return append(buf, byte(t), byte(role), peer, byte(union), byte(union>>8))
+}
+
+// WorldOf returns the world index of a sequence in the model.
+func (m *Model) WorldOf(seq Sequence) (int, bool) {
+	return m.M.WorldByName(seq.String())
+}
+
+// Tower returns the verdict tower over AllExpertProp: the fact itself,
+// E^1 through E^depth over all agents, and C — the batch every chain link
+// and search step evaluates at once.
+func Tower(depth int) []logic.Formula {
+	if depth < 1 {
+		panic(fmt.Sprintf("gossip: tower depth %d (want >= 1)", depth))
+	}
+	phi := logic.P(AllExpertProp)
+	fs := make([]logic.Formula, 0, depth+2)
+	fs = append(fs, phi)
+	for k := 1; k <= depth; k++ {
+		fs = append(fs, logic.EK(nil, k, phi))
+	}
+	return append(fs, logic.C(nil, phi))
+}

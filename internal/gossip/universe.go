@@ -1,0 +1,296 @@
+package gossip
+
+import (
+	"repro/internal/faults"
+)
+
+// Stream labels for the seeded samplers, in the faults.SubStream
+// convention: every draw in a universe build comes off the stream
+// identified by (seed, label, convention, length), so universes for
+// different conventions or lengths never share state and replay
+// byte-identically in any build order.
+const (
+	labelUniverse uint64 = 0x6055171
+	labelDeviate  uint64 = 0x6055de7
+)
+
+// Universe is the world set of one gossip model: candidate call sequences
+// of a fixed length under one convention, in deterministic order.
+type Universe struct {
+	N    int
+	Conv Convention
+	Len  int
+	Seqs []Sequence
+	// Sampled is true when the admissible sequence count exceeded the
+	// enumeration cap and the universe was sampled instead. Sampled
+	// universes under-populate indistinguishability classes, so knowledge
+	// verdicts on them are optimistic: attainment counts read as earliest
+	// observed, not exact minima.
+	Sampled bool
+}
+
+func (s Sequence) key() string {
+	b := make([]byte, 0, len(s)*2)
+	for _, c := range s {
+		b = append(b, c.Caller, c.Callee)
+	}
+	return string(b)
+}
+
+// Enumerate lists every admissible sequence of exactly the given length in
+// lexicographic (caller-major) call order. It reports ok=false without a
+// universe when the count exceeds cap — the signal to fall back to
+// sampling. An empty universe with ok=true means the convention admits no
+// sequence of that length (it has terminated earlier).
+func Enumerate(conv Convention, n, length, cap int) (*Universe, bool) {
+	alphabet := Calls(n)
+	st := NewState(n)
+	u := &Universe{N: n, Conv: conv, Len: length}
+	cur := make(Sequence, 0, length)
+
+	// Depth-first over the call alphabet; admissibility depends only on
+	// the evolving (familiarity, used-pairs) state, which is saved and
+	// restored around each branch.
+	type frame struct {
+		fam  []uint16
+		used uint64
+	}
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == length {
+			if len(u.Seqs) == cap {
+				return false
+			}
+			seq := make(Sequence, length)
+			copy(seq, cur)
+			u.Seqs = append(u.Seqs, seq)
+			return true
+		}
+		saved := frame{fam: append([]uint16(nil), st.Fam...), used: st.used}
+		for _, c := range alphabet {
+			if !st.Admissible(conv, c) {
+				continue
+			}
+			st.Apply(c)
+			cur = append(cur, c)
+			ok := rec(depth + 1)
+			cur = cur[:len(cur)-1]
+			copy(st.Fam, saved.fam)
+			st.used = saved.used
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return u, true
+}
+
+// randomWalk draws one admissible sequence of the given length, reporting
+// failure when the convention dead-ends first.
+func randomWalk(conv Convention, n, length int, alphabet []Call, st *State, str *faults.Stream) (Sequence, bool) {
+	st.Reset()
+	seq := make(Sequence, 0, length)
+	adm := make([]Call, 0, len(alphabet))
+	for t := 0; t < length; t++ {
+		adm = adm[:0]
+		for _, c := range alphabet {
+			if st.Admissible(conv, c) {
+				adm = append(adm, c)
+			}
+		}
+		if len(adm) == 0 {
+			return nil, false
+		}
+		c := adm[str.Intn(len(adm))]
+		st.Apply(c)
+		seq = append(seq, c)
+	}
+	return seq, true
+}
+
+// confuse derives a sequence indistinguishable from base for agent a —
+// same calls for a, at the same positions, with the same exchanged secret
+// sets — while resampling the calls a took no part in. These are exactly
+// the worlds a's knowledge quantifies over, so populating them keeps
+// sampled-universe verdicts from collapsing into "every world is its own
+// class, everyone knows everything".
+func confuse(conv Convention, base Sequence, a int, alphabet []Call, st *State, str *faults.Stream) (Sequence, bool) {
+	st.Reset()
+	out := make(Sequence, 0, len(base))
+	adm := make([]Call, 0, len(alphabet))
+	obs := make([]uint16, 0, len(base))
+	for _, c := range base {
+		if int(c.Caller) == a || int(c.Callee) == a {
+			// a's own call must replay verbatim and stay admissible in
+			// the rewritten history.
+			if !st.Admissible(conv, c) {
+				return nil, false
+			}
+			obs = append(obs, st.Apply(c))
+			out = append(out, c)
+			continue
+		}
+		adm = adm[:0]
+		for _, alt := range alphabet {
+			if int(alt.Caller) == a || int(alt.Callee) == a {
+				continue
+			}
+			if st.Admissible(conv, alt) {
+				adm = append(adm, alt)
+			}
+		}
+		if len(adm) == 0 {
+			return nil, false
+		}
+		alt := adm[str.Intn(len(adm))]
+		st.Apply(alt)
+		out = append(out, alt)
+	}
+	// The rewrite may have changed what a's peers knew when a called them;
+	// accept only if a's observations are bit-identical to the base run.
+	st.Reset()
+	i := 0
+	for _, c := range base {
+		if int(c.Caller) != a && int(c.Callee) != a {
+			st.Apply(c)
+			continue
+		}
+		if st.Apply(c) != obs[i] {
+			return nil, false
+		}
+		i++
+	}
+	return out, true
+}
+
+// Sample draws a sampled universe of up to want distinct sequences: seeded
+// random admissible walks, each augmented with confusers (see confuse) to
+// depth two — a confuser of a confuser witnesses two hops of the
+// reachability the E^2 and C verdicts quantify over, so sampled towers do
+// not collapse into singleton classes. All draws come sequentially off
+// str, so equal (seed, labels) reproduce the universe byte for byte.
+func Sample(conv Convention, n, length, want int, str *faults.Stream) *Universe {
+	const (
+		confusersPerAgent = 2
+		confuserDepth     = 2
+	)
+	alphabet := Calls(n)
+	st := NewState(n)
+	u := &Universe{N: n, Conv: conv, Len: length, Sampled: true}
+	seen := make(map[string]bool, want)
+	type item struct {
+		seq   Sequence
+		depth int
+	}
+	var queue []item
+	add := func(s Sequence, depth int) {
+		k := s.key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		u.Seqs = append(u.Seqs, s)
+		if depth < confuserDepth {
+			queue = append(queue, item{s, depth})
+		}
+	}
+	for attempts := 0; len(u.Seqs) < want && attempts < want*24; {
+		if len(queue) == 0 {
+			attempts++
+			if w, ok := randomWalk(conv, n, length, alphabet, st, str); ok {
+				add(w, 0)
+			}
+			continue
+		}
+		it := queue[0]
+		queue = queue[1:]
+		for a := 0; a < n && len(u.Seqs) < want; a++ {
+			for k := 0; k < confusersPerAgent; k++ {
+				attempts++
+				if c, ok := confuse(conv, it.seq, a, alphabet, st, str); ok {
+					add(c, it.depth+1)
+				}
+			}
+		}
+	}
+	return u
+}
+
+// BuildUniverse enumerates the admissible sequences of the given length,
+// falling back to seeded sampling when the count exceeds cap. The sampling
+// stream is derived as SubStream(seed, labelUniverse, conv, length), so
+// universes are order-independent across conventions and lengths.
+func BuildUniverse(conv Convention, n, length, cap, sampleWant int, seed int64) *Universe {
+	if u, ok := Enumerate(conv, n, length, cap); ok {
+		return u
+	}
+	str := faults.SubStream(seed, labelUniverse, uint64(conv), uint64(length))
+	return Sample(conv, n, length, sampleWant, str)
+}
+
+// SampleDeviations builds the universe the revelation chain runs on: the
+// actual sequence (world 0) plus, for every position t, up to perLink
+// sampled sequences that share the actual prefix up to t, deviate at t,
+// and continue with an admissible random completion. Revealing call t then
+// eliminates exactly the branch that deviated there — a linear decay over
+// the chain's links, mirroring the remaining uncertainty of an observer
+// who has verified the sequence up to t. The stream derives from
+// (seed, labelDeviate, conv, len(actual)).
+func SampleDeviations(conv Convention, n int, actual Sequence, perLink int, seed int64) *Universe {
+	alphabet := Calls(n)
+	st := NewState(n)
+	u := &Universe{N: n, Conv: conv, Len: len(actual), Sampled: true}
+	str := faults.SubStream(seed, labelDeviate, uint64(conv), uint64(len(actual)))
+	seen := map[string]bool{actual.key(): true}
+	u.Seqs = append(u.Seqs, actual)
+	adm := make([]Call, 0, len(alphabet))
+	for t := range actual {
+		for made, attempts := 0, 0; made < perLink && attempts < perLink*8; attempts++ {
+			st.Reset()
+			for _, c := range actual[:t] {
+				st.Apply(c)
+			}
+			adm = adm[:0]
+			for _, c := range alphabet {
+				if c != actual[t] && st.Admissible(conv, c) {
+					adm = append(adm, c)
+				}
+			}
+			if len(adm) == 0 {
+				break
+			}
+			seq := make(Sequence, 0, len(actual))
+			seq = append(seq, actual[:t]...)
+			c := adm[str.Intn(len(adm))]
+			st.Apply(c)
+			seq = append(seq, c)
+			ok := true
+			for i := t + 1; i < len(actual); i++ {
+				adm = adm[:0]
+				for _, alt := range alphabet {
+					if st.Admissible(conv, alt) {
+						adm = append(adm, alt)
+					}
+				}
+				if len(adm) == 0 {
+					ok = false
+					break
+				}
+				alt := adm[str.Intn(len(adm))]
+				st.Apply(alt)
+				seq = append(seq, alt)
+			}
+			if !ok || seen[seq.key()] {
+				continue
+			}
+			seen[seq.key()] = true
+			u.Seqs = append(u.Seqs, seq)
+			made++
+		}
+	}
+	return u
+}

@@ -1,0 +1,209 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// replayAdmissible verifies a sequence is admissible under the convention
+// by replaying it from the initial situation.
+func replayAdmissible(t *testing.T, conv Convention, n int, seq Sequence) {
+	t.Helper()
+	st := NewState(n)
+	for i, c := range seq {
+		if !st.Admissible(conv, c) {
+			t.Fatalf("%s: call %d (%s) of %s is inadmissible", conv.Key(), i, c, seq)
+		}
+		st.Apply(c)
+	}
+}
+
+// TestEnumerateMatchesBruteForce cross-checks the DFS against a direct
+// filter of every call tuple for a small instance.
+func TestEnumerateMatchesBruteForce(t *testing.T) {
+	const n, length = 3, 2
+	alphabet := Calls(n)
+	for _, conv := range Conventions() {
+		want := 0
+		st := NewState(n)
+		for _, c1 := range alphabet {
+			for _, c2 := range alphabet {
+				st.Reset()
+				if !st.Admissible(conv, c1) {
+					continue
+				}
+				st.Apply(c1)
+				if st.Admissible(conv, c2) {
+					want++
+				}
+			}
+		}
+		u, ok := Enumerate(conv, n, length, 1<<20)
+		if !ok {
+			t.Fatalf("%s: enumeration aborted", conv.Key())
+		}
+		if len(u.Seqs) != want {
+			t.Errorf("%s: enumerated %d sequences, brute force says %d", conv.Key(), len(u.Seqs), want)
+		}
+		for _, seq := range u.Seqs {
+			replayAdmissible(t, conv, n, seq)
+		}
+	}
+}
+
+func TestEnumerateCapAborts(t *testing.T) {
+	if u, ok := Enumerate(Any, 4, 3, 10); ok || u != nil {
+		t.Fatal("enumeration past the cap should abort")
+	}
+}
+
+// TestEnumerateTerminated: three agents have three unordered pairs, so CO
+// admits no fourth call — the universe is empty but the enumeration is
+// exact.
+func TestEnumerateTerminated(t *testing.T) {
+	u, ok := Enumerate(CO, 3, 4, 1<<20)
+	if !ok || len(u.Seqs) != 0 || u.Sampled {
+		t.Fatalf("CO length 4 for 3 agents: ok=%v seqs=%d sampled=%v", ok, len(u.Seqs), u.Sampled)
+	}
+	// LNS sequences are CO sequences (a call makes both parties familiar,
+	// so no pair can ever call again), and 4 agents have only 6 pairs —
+	// length 7 is empty.
+	u, ok = Enumerate(LNS, 4, 7, 1<<20)
+	if !ok || len(u.Seqs) != 0 {
+		t.Fatalf("LNS length 7 for 4 agents: ok=%v seqs=%d", ok, len(u.Seqs))
+	}
+}
+
+func TestSampleDeterministicAndAdmissible(t *testing.T) {
+	const n, length, want = 5, 6, 200
+	for _, conv := range Conventions() {
+		a := Sample(conv, n, length, want, faults.SubStream(7, labelUniverse, uint64(conv), uint64(length)))
+		b := Sample(conv, n, length, want, faults.SubStream(7, labelUniverse, uint64(conv), uint64(length)))
+		if len(a.Seqs) != len(b.Seqs) {
+			t.Fatalf("%s: equal seeds drew %d vs %d sequences", conv.Key(), len(a.Seqs), len(b.Seqs))
+		}
+		seen := map[string]bool{}
+		for i, seq := range a.Seqs {
+			if seq.String() != b.Seqs[i].String() {
+				t.Fatalf("%s: sequence %d differs across equal seeds", conv.Key(), i)
+			}
+			if seen[seq.String()] {
+				t.Fatalf("%s: duplicate sampled sequence %s", conv.Key(), seq)
+			}
+			seen[seq.String()] = true
+			replayAdmissible(t, conv, n, seq)
+		}
+		if !a.Sampled || len(a.Seqs) == 0 {
+			t.Fatalf("%s: sampled universe has %d seqs, Sampled=%v", conv.Key(), len(a.Seqs), a.Sampled)
+		}
+	}
+}
+
+// TestConfusePreservesObservations: a confuser must replay the base
+// sequence exactly from the confused agent's point of view — same calls at
+// the same positions with the same exchanged secret sets.
+func TestConfusePreservesObservations(t *testing.T) {
+	const n, length, a = 5, 6, 2
+	alphabet := Calls(n)
+	st := NewState(n)
+	str := faults.SubStream(11, labelUniverse, 0, uint64(length))
+	base, ok := randomWalk(Any, n, length, alphabet, st, str)
+	if !ok {
+		t.Fatal("random walk dead-ended under ANY")
+	}
+	var confusers []Sequence
+	for tries := 0; tries < 64; tries++ {
+		if c, ok := confuse(Any, base, a, alphabet, st, str); ok {
+			confusers = append(confusers, c)
+		}
+	}
+	if len(confusers) == 0 {
+		t.Fatal("no confuser accepted in 64 tries")
+	}
+	obs := func(seq Sequence) []uint16 {
+		s := NewState(n)
+		var out []uint16
+		for t, c := range seq {
+			u := s.Apply(c)
+			if int(c.Caller) == a || int(c.Callee) == a {
+				out = append(out, uint16(t), u)
+			}
+		}
+		return out
+	}
+	want := obs(base)
+	for _, c := range confusers {
+		replayAdmissible(t, Any, n, c)
+		got := obs(c)
+		if len(got) != len(want) {
+			t.Fatalf("confuser %s changes agent %c's call count", c, 'a'+byte(a))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("confuser %s changes agent %c's observation log", c, 'a'+byte(a))
+			}
+		}
+	}
+}
+
+func TestBuildUniverseFallsBack(t *testing.T) {
+	exact := BuildUniverse(CO, 4, 4, 1<<20, 64, 1)
+	if exact.Sampled {
+		t.Fatal("CO length 4 under a huge cap should be exhaustive")
+	}
+	sampled := BuildUniverse(CO, 4, 4, 8, 64, 1)
+	if !sampled.Sampled || len(sampled.Seqs) == 0 {
+		t.Fatalf("cap 8 should force sampling, got %d seqs sampled=%v", len(sampled.Seqs), sampled.Sampled)
+	}
+	for _, seq := range sampled.Seqs {
+		replayAdmissible(t, CO, 4, seq)
+	}
+}
+
+func TestSampleDeviations(t *testing.T) {
+	actual, err := ParseSequence("ab.cd.ac.bd", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := SampleDeviations(CO, 4, actual, 6, 1)
+	again := SampleDeviations(CO, 4, actual, 6, 1)
+	if len(u.Seqs) != len(again.Seqs) {
+		t.Fatalf("equal seeds drew %d vs %d deviations", len(u.Seqs), len(again.Seqs))
+	}
+	if u.Seqs[0].String() != actual.String() {
+		t.Fatalf("world 0 is %s, want the actual sequence", u.Seqs[0])
+	}
+	if len(u.Seqs) < 2 {
+		t.Fatal("no deviations sampled")
+	}
+	seen := map[string]bool{}
+	for i, seq := range u.Seqs {
+		if seq.String() != again.Seqs[i].String() {
+			t.Fatalf("deviation %d differs across equal seeds", i)
+		}
+		if seen[seq.String()] {
+			t.Fatalf("duplicate deviation %s", seq)
+		}
+		seen[seq.String()] = true
+		replayAdmissible(t, CO, 4, seq)
+		if len(seq) != len(actual) {
+			t.Fatalf("deviation %s has length %d, want %d", seq, len(seq), len(actual))
+		}
+	}
+	// Every non-actual world shares a (possibly empty) prefix with the
+	// actual sequence and deviates at its first divergence by construction;
+	// check divergence exists.
+	for _, seq := range u.Seqs[1:] {
+		same := true
+		for i := range seq {
+			if seq[i] != actual[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("deviation %s never deviates", seq)
+		}
+	}
+}

@@ -23,8 +23,11 @@
 # still does. A missing baseline is an error (exit 2), never a silent
 # pass. The verdicts are also written as a markdown table to BENCH_DIFF.md
 # (override with BENCH_DIFF) for CI artifact upload, the fresh numbers to
-# BENCH_FRESH.json (override with BENCH_FRESH). On success the README
-# benchmark-trajectory table is refreshed from the committed snapshots.
+# BENCH_FRESH.json (override with BENCH_FRESH); BENCH_DIFF.md is truncated
+# to a "did not complete" stub as soon as compare mode starts, so an
+# aborted run can never leave a previous run's verdicts behind. On success
+# the README benchmark-trajectory table is refreshed from the committed
+# snapshots.
 #
 # Readme mode only regenerates the README table (between the
 # "bench-table" markers) from BENCH_BASELINE.json and every committed
@@ -65,6 +68,18 @@ extract_current() {
     ' "$1"
 }
 
+# snap_pr SNAPNUM — the PR that recorded snapshot N. Snapshots are
+# numbered densely (the compare gate discovers the latest one by counting
+# up from 1), but not every PR records a snapshot, so the two sequences
+# diverge: PRs 7-8 (serving layer, load harness) changed no benchmarked
+# paths and recorded none.
+snap_pr() {
+    case "$1" in
+    7) echo 9 ;;
+    *) echo "$1" ;;
+    esac
+}
+
 # readme_table rewrites the trajectory table between the bench-table
 # markers of README.md: one row per ablation benchmark (plus the full
 # experiment suite), one column per committed snapshot, and the overall
@@ -73,11 +88,15 @@ readme_table() {
     local readme="README.md"
     [[ -f "$readme" ]] || return 0
     grep -q '<!-- bench-table:start -->' "$readme" || return 0
-    local snaps=()
-    [[ -f BENCH_BASELINE.json ]] && snaps+=(BENCH_BASELINE.json)
+    local snaps=() labels=()
+    if [[ -f BENCH_BASELINE.json ]]; then
+        snaps+=(BENCH_BASELINE.json)
+        labels+=(seed)
+    fi
     local n=1
     while [[ -e "BENCH_${n}.json" ]]; do
         snaps+=("BENCH_${n}.json")
+        labels+=("PR $(snap_pr "$n")")
         n=$((n + 1))
     done
     [[ "${#snaps[@]}" != 0 ]] || return 0
@@ -86,7 +105,7 @@ readme_table() {
     table="$(
         for s in "${snaps[@]}"; do
             extract_current "$s" | awk -v src="$s" '{ print src, $1, $2 }'
-        done | awk -v files="${snaps[*]}" '
+        done | awk -v files="${snaps[*]}" -v labelstr="$(IFS='|'; echo "${labels[*]}")" '
         function fmt(ns) {
             if (ns == "") return "—"
             if (ns + 0 >= 1e9) return sprintf("%.2f s", ns / 1e9)
@@ -94,7 +113,7 @@ readme_table() {
             if (ns + 0 >= 1e3) return sprintf("%.1f µs", ns / 1e3)
             return sprintf("%.0f ns", ns + 0)
         }
-        BEGIN { nf = split(files, fname, " ") }
+        BEGIN { nf = split(files, fname, " "); split(labelstr, lbl, "|") }
         {
             name = $2
             if (name !~ /^BenchmarkAblation/ && name != "BenchmarkAllExperiments") next
@@ -103,12 +122,7 @@ readme_table() {
         }
         END {
             printf "| benchmark (ns/op, min of runs) |"
-            for (i = 1; i <= nf; i++) {
-                label = fname[i]
-                sub(/^BENCH_/, "", label); sub(/\.json$/, "", label)
-                if (label == "BASELINE") label = "seed"; else label = "PR " label
-                printf " %s |", label
-            }
+            for (i = 1; i <= nf; i++) printf " %s |", lbl[i]
             printf " speedup |\n|---|"
             for (i = 1; i <= nf; i++) printf "---|"
             printf "---|\n"
@@ -220,6 +234,14 @@ if [[ "$compare" == 1 ]]; then
     fi
     diffmd="${BENCH_DIFF:-BENCH_DIFF.md}"
     freshjson="${BENCH_FRESH:-BENCH_FRESH.json}"
+    # Truncate the diff report up front: if this run dies mid-way, a CI
+    # artifact upload must never surface a previous run's verdicts as if
+    # they were this run's.
+    {
+        echo "# Benchmark comparison against \`$prev\`"
+        echo
+        echo "Run did not complete — no verdicts were produced."
+    } > "$diffmd"
     echo "comparing fresh run against $prev (gate: >${REGRESSION_PCT}% ns/op regression in ablations, confirmed by a second pass)"
 
     echo "warmup pass (1 iteration per benchmark, discarded)..."

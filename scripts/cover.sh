@@ -11,13 +11,14 @@
 #   internal/server   >= 70   (the serving layer's robustness machinery)
 #   internal/client   >= 80   (retry/breaker/idempotency-key internals)
 #   internal/chaosproxy >= 80 (fault-injecting proxy: message + byte fates)
+#   internal/gossip   >= 70   (gossip universes, chains and attainment search)
 #
 # Usage: scripts/cover.sh [profile.out]
 #
 # The profile is left at the given path (default coverage.out) so CI can
 # upload it as an artifact. COVER_THRESHOLD overrides the kripke gate;
 # COVER_THRESHOLD_<PKG> (RUNS, PROTOCOL, FAULTS, SCENARIO, SERVER,
-# CLIENT, CHAOSPROXY) override the others.
+# CLIENT, CHAOSPROXY, GOSSIP) override the others.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,6 +63,7 @@ check internal/scenario "${COVER_THRESHOLD_SCENARIO:-70}"
 check internal/server "${COVER_THRESHOLD_SERVER:-70}"
 check internal/client "${COVER_THRESHOLD_CLIENT:-80}"
 check internal/chaosproxy "${COVER_THRESHOLD_CHAOSPROXY:-80}"
+check internal/gossip "${COVER_THRESHOLD_GOSSIP:-70}"
 echo "repo total: ${overall}"
 
 exit "$fail"
