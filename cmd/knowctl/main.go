@@ -130,7 +130,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "stats":
-		st, err := c.Stats()
+		st, err := c.ServerStats()
 		if err != nil {
 			return err
 		}

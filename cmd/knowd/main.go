@@ -27,6 +27,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -66,6 +67,13 @@ func run(args []string, out io.Writer) error {
 	if *writeThrough && *state == "" {
 		return fmt.Errorf("-write-through needs -state")
 	}
+	// A fresh incarnation stamp every boot: session ids minted by a
+	// crashed-and-restarted knowd can never alias the previous process's,
+	// and routers watching /healthz see the generation change.
+	bootID := strconv.FormatInt(time.Now().UnixNano()^int64(os.Getpid()), 36)
+	if bootID[0] == '-' {
+		bootID = bootID[1:]
+	}
 	s := server.New(server.Config{
 		Seed:         *seed,
 		Workers:      kripke.WorkersFromFlag(*parallel),
@@ -74,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		SessionTTL:   *sessionTTL,
 		StateDir:     *state,
 		WriteThrough: *writeThrough,
+		BootID:       bootID,
 		Logf:         logf,
 	})
 	if *state != "" {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// lineWriter hands each stdout line to the test as it appears, so the
+// test can find the bound address before poking the router.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	lines chan string
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for _, ln := range strings.Split(string(p), "\n") {
+		if ln != "" {
+			select {
+			case w.lines <- ln:
+			default:
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestServeAndDrain boots the router over two in-process shards, routes
+// one session open through it, then delivers SIGTERM and expects a clean
+// drain.
+func TestServeAndDrain(t *testing.T) {
+	sh1 := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer sh1.Close()
+	sh2 := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer sh2.Close()
+
+	out := &lineWriter{lines: make(chan string, 16)}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0",
+			"-shards", "n1=" + sh1.URL + ",n2=" + sh2.URL, "-quiet"}, out)
+	}()
+
+	var addr string
+	deadline := time.After(10 * time.Second)
+	for addr == "" {
+		select {
+		case ln := <-out.lines:
+			if m := listenRE.FindStringSubmatch(ln); m != nil {
+				addr = m[1]
+			}
+		case err := <-done:
+			t.Fatalf("router exited early: %v\n%s", err, out.String())
+		case <-deadline:
+			t.Fatalf("router never reported its address\n%s", out.String())
+		}
+	}
+
+	url := "http://" + addr
+	resp, err := http.Post(url+"/v1/sessions", "application/json",
+		strings.NewReader(`{"system":"muddy:2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open through router: %d: %s", resp.StatusCode, body)
+	}
+	var st server.SessionState
+	if err := json.Unmarshal(body, &st); err != nil || st.Session != "r1" {
+		t.Fatalf("routed open state %s: %v", body, err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("router did not drain\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("missing drain confirmation:\n%s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-addr"}, io.Discard); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+	if err := run([]string{"-shards", ""}, io.Discard); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if err := run([]string{"-shards", "n1*0=http://a:1"}, io.Discard); err == nil {
+		t.Fatal("zero-weight shard accepted")
+	}
+	if err := run([]string{"-shards", "n1=http://a:1", "-addr", "999.999.999.999:1"}, io.Discard); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -12,6 +12,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -117,6 +118,10 @@ type Client struct {
 	// Retries counts every retried attempt (total attempts minus calls),
 	// for tests and chaos assertions.
 	retries int
+	// sheds counts 429/503 responses observed across attempts: the
+	// server-side backpressure this client has been leaned on with. A
+	// router reads it through Stats to down-weight a shedding shard.
+	sheds int
 }
 
 // New builds a client from cfg.
@@ -152,6 +157,36 @@ func (c *Client) Retries() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.retries
+}
+
+// Stats is the client's own telemetry: breaker state, failure run length,
+// and backpressure counts. It is the client-side mirror of server.Stats —
+// a router health-checks shards off this instead of shadow-counting.
+type Stats struct {
+	// Breaker is "closed", "open", or "half-open" (cooldown elapsed or a
+	// probe in flight; the next admitted call decides).
+	Breaker string
+	// ConsecutiveFails is the current run of failed calls; BreakerThreshold
+	// of them opens the breaker.
+	ConsecutiveFails int
+	// Retries mirrors the Retries accessor.
+	Retries int
+	// Sheds counts 429/503 responses observed across all attempts.
+	Sheds int
+}
+
+// Stats snapshots the client's breaker and backpressure telemetry.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{Breaker: "closed", ConsecutiveFails: c.fails, Retries: c.retries, Sheds: c.sheds}
+	if !c.openedAt.IsZero() {
+		st.Breaker = "open"
+		if c.probing || c.now().Sub(c.openedAt) >= c.cfg.BreakerCooldown {
+			st.Breaker = "half-open"
+		}
+	}
+	return st
 }
 
 // nextKey mints the idempotency key for one logical call. The sequence is
@@ -193,6 +228,15 @@ func (c *Client) recordOutcome(err error) {
 	}
 }
 
+// recordNeutral ends a call that says nothing about the daemon's health —
+// a context-cancelled attempt (a hedge loser is cancelled on purpose).
+// Neither the failure run nor the breaker moves; a probe slot is released.
+func (c *Client) recordNeutral() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probing = false
+}
+
 // retryable reports whether a response status is worth another attempt.
 func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
@@ -200,8 +244,9 @@ func retryable(status int) bool {
 
 // call performs one logical API call with retries; out, when non-nil, is
 // filled from the final 2xx body. Mutating calls pass idempotent=true to
-// attach a per-call Idempotency-Key reused across every attempt.
-func (c *Client) call(method, path string, in, out any, idempotent bool) error {
+// attach a per-call Idempotency-Key reused across every attempt. ctx
+// cancellation aborts the in-flight attempt and the retry loop.
+func (c *Client) call(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	if err := c.breakerAdmit(); err != nil {
 		return err
 	}
@@ -217,27 +262,37 @@ func (c *Client) call(method, path string, in, out any, idempotent bool) error {
 	if idempotent {
 		key = c.nextKey()
 	}
-	err := c.attemptLoop(method, path, key, body, out)
+	err := c.attemptLoop(ctx, method, path, key, body, out)
 	// A definitive 4xx verdict means the server is healthy and answering;
-	// only transport failures and exhausted retries feed the breaker.
+	// only transport failures and exhausted retries feed the breaker. A
+	// cancelled call says nothing about the daemon at all.
 	var apiErr *APIError
-	if errors.As(err, &apiErr) {
+	switch {
+	case errors.As(err, &apiErr):
 		c.recordOutcome(nil)
-	} else {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		c.recordNeutral()
+	default:
 		c.recordOutcome(err)
 	}
 	return err
 }
 
-func (c *Client) attemptLoop(method, path, key string, body []byte, out any) error {
+func (c *Client) attemptLoop(ctx context.Context, method, path, key string, body []byte, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return fmt.Errorf("client: %s %s: %w", method, path, lastErr)
+		}
 		if attempt > 0 {
 			c.mu.Lock()
 			c.retries++
 			c.mu.Unlock()
 		}
-		req, err := http.NewRequest(method, c.cfg.BaseURL+path, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -247,6 +302,9 @@ func (c *Client) attemptLoop(method, path, key string, body []byte, out any) err
 		}
 		resp, err := c.cfg.HTTPClient.Do(req)
 		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			}
 			lastErr = err
 			c.backoff(attempt, 0)
 			continue
@@ -254,6 +312,9 @@ func (c *Client) attemptLoop(method, path, key string, body []byte, out any) err
 		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
 		resp.Body.Close()
 		if rerr != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			}
 			lastErr = rerr
 			c.backoff(attempt, 0)
 			continue
@@ -265,6 +326,11 @@ func (c *Client) attemptLoop(method, path, key string, body []byte, out any) err
 			}
 			return json.Unmarshal(data, out)
 		case retryable(resp.StatusCode):
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				c.mu.Lock()
+				c.sheds++
+				c.mu.Unlock()
+			}
 			lastErr = fmt.Errorf("client: server said %d: %s", resp.StatusCode, bytes.TrimSpace(data))
 			c.backoff(attempt, parseRetryAfter(resp.Header.Get("Retry-After")))
 			continue
@@ -310,9 +376,12 @@ func parseRetryAfter(h string) time.Duration {
 // API surface.
 
 // Health reports the daemon's health status string ("ok" or "draining").
+// Note a draining daemon answers 503, which this retrying path treats as
+// transient; a health checker that wants a single unretried probe should
+// issue its own GET.
 func (c *Client) Health() (string, error) {
 	var m map[string]string
-	if err := c.call("GET", "/healthz", nil, &m, false); err != nil {
+	if err := c.call(context.Background(), "GET", "/healthz", nil, &m, false); err != nil {
 		return "", err
 	}
 	return m["status"], nil
@@ -321,42 +390,63 @@ func (c *Client) Health() (string, error) {
 // Systems lists the loadable system specs.
 func (c *Client) Systems() ([]server.SystemInfo, error) {
 	var out []server.SystemInfo
-	err := c.call("GET", "/v1/systems", nil, &out, false)
+	err := c.call(context.Background(), "GET", "/v1/systems", nil, &out, false)
 	return out, err
 }
 
-// Stats snapshots the daemon's counters.
-func (c *Client) Stats() (server.Stats, error) {
+// ServerStats snapshots the daemon's counters (the remote counterpart of
+// the local Stats telemetry accessor).
+func (c *Client) ServerStats() (server.Stats, error) {
 	var out server.Stats
-	err := c.call("GET", "/v1/stats", nil, &out, false)
+	err := c.call(context.Background(), "GET", "/v1/stats", nil, &out, false)
 	return out, err
 }
 
 // Sessions lists the live sessions.
 func (c *Client) Sessions() ([]server.SessionState, error) {
 	var out []server.SessionState
-	err := c.call("GET", "/v1/sessions", nil, &out, false)
+	err := c.call(context.Background(), "GET", "/v1/sessions", nil, &out, false)
 	return out, err
 }
 
 // Open creates a session on a system spec; seed 0 uses the server's seed.
 func (c *Client) Open(system string, seed int64) (server.SessionState, error) {
 	var out server.SessionState
-	err := c.call("POST", "/v1/sessions", server.OpenRequest{System: system, Seed: seed}, &out, true)
+	err := c.call(context.Background(), "POST", "/v1/sessions", server.OpenRequest{System: system, Seed: seed}, &out, true)
+	return out, err
+}
+
+// Get fetches one session's current chain state.
+func (c *Client) Get(session string) (server.SessionState, error) {
+	return c.GetCtx(context.Background(), session)
+}
+
+// GetCtx is Get under a caller context: a hedged read cancels the losing
+// leg through it.
+func (c *Client) GetCtx(ctx context.Context, session string) (server.SessionState, error) {
+	var out server.SessionState
+	err := c.call(ctx, "GET", "/v1/sessions/"+session, nil, &out, false)
 	return out, err
 }
 
 // Eval evaluates a formula batch on a session.
 func (c *Client) Eval(session string, req server.EvalRequest) (server.EvalResponse, error) {
+	return c.EvalCtx(context.Background(), session, req)
+}
+
+// EvalCtx is Eval under a caller context. Cancellation aborts the
+// in-flight attempt and propagates server-side into EvalBatchCtx, so a
+// hedge loser stops burning the shard's compute between formulas.
+func (c *Client) EvalCtx(ctx context.Context, session string, req server.EvalRequest) (server.EvalResponse, error) {
 	var out server.EvalResponse
-	err := c.call("POST", "/v1/sessions/"+session+"/eval", req, &out, true)
+	err := c.call(ctx, "POST", "/v1/sessions/"+session+"/eval", req, &out, true)
 	return out, err
 }
 
 // Announce publicly announces a formula on a session.
 func (c *Client) Announce(session, formula string) (server.SessionState, error) {
 	var out server.SessionState
-	err := c.call("POST", "/v1/sessions/"+session+"/announce", server.AnnounceRequest{Formula: formula}, &out, true)
+	err := c.call(context.Background(), "POST", "/v1/sessions/"+session+"/announce", server.AnnounceRequest{Formula: formula}, &out, true)
 	return out, err
 }
 
@@ -367,12 +457,12 @@ func (c *Client) Announce(session, formula string) (server.SessionState, error) 
 // the chain twice; a genuine position mismatch is a 409 APIError.
 func (c *Client) AnnounceAt(session, formula string, link int) (server.SessionState, error) {
 	var out server.SessionState
-	err := c.call("POST", "/v1/sessions/"+session+"/announce",
+	err := c.call(context.Background(), "POST", "/v1/sessions/"+session+"/announce",
 		server.AnnounceRequest{Formula: formula, Link: &link}, &out, true)
 	return out, err
 }
 
 // Close deletes a session.
 func (c *Client) Close(session string) error {
-	return c.call("DELETE", "/v1/sessions/"+session, nil, nil, true)
+	return c.call(context.Background(), "DELETE", "/v1/sessions/"+session, nil, nil, true)
 }

@@ -252,7 +252,7 @@ func TestAgainstLiveDaemon(t *testing.T) {
 	if err := c.Close(st.Session); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.Stats()
+	stats, err := c.ServerStats()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseShards(t *testing.T) {
+	good := []struct {
+		spec string
+		want []Shard
+	}{
+		{"n1=http://127.0.0.1:7501", []Shard{{"n1", "http://127.0.0.1:7501", 1}}},
+		{"n1=http://127.0.0.1:7501/", []Shard{{"n1", "http://127.0.0.1:7501", 1}}},
+		{" n1 = http://a:1 , n2*2 = https://b:2 ", []Shard{{"n1", "http://a:1", 1}, {"n2", "https://b:2", 2}}},
+		{"n1*1048576=http://a:1", []Shard{{"n1", "http://a:1", 1 << 20}}},
+	}
+	for _, tc := range good {
+		got, err := ParseShards(tc.spec)
+		if err != nil {
+			t.Errorf("ParseShards(%q): %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseShards(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+
+	bad := []struct {
+		spec string
+		frag string // must appear in the error
+	}{
+		{"", "empty shard list"},
+		{"   ", "empty shard list"},
+		{"n1=http://a:1,,n2=http://b:2", "empty shard entry"},
+		{"n1", "want id[*weight]=addr"},
+		{"=http://a:1", "empty id"},
+		{"*2=http://a:1", "empty id"},
+		{"n 1=http://a:1", "whitespace"},
+		{"n1*x=http://a:1", "bad weight"},
+		{"n1*0=http://a:1", "weight must be >= 1"},
+		{"n1*-3=http://a:1", "weight must be >= 1"},
+		{"n1*1048577=http://a:1", "cap"},
+		{"n1=http://a:1,n1=http://b:2", "duplicate shard id"},
+		{"n1=127.0.0.1:7501", "bad address"},
+		{"n1=ftp://a:1", "absolute http(s) URL"},
+		{"n1=http://", "absolute http(s) URL"},
+		{"n1=http://user:pw@a:1", "credentials"},
+		{"n1=http://a:1/metrics", "credentials, path, query, or fragment"},
+		{"n1=http://a:1?x=1", "credentials, path, query, or fragment"},
+		{"n1=http://a:1#frag", "credentials, path, query, or fragment"},
+		{"n\n1=http://a:1", "whitespace"}, // any unicode whitespace in an id, not just ' '
+	}
+	for _, tc := range bad {
+		got, err := ParseShards(tc.spec)
+		if err == nil {
+			t.Errorf("ParseShards(%q) = %+v, want error containing %q", tc.spec, got, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("ParseShards(%q) error %q, want it to contain %q", tc.spec, err, tc.frag)
+		}
+	}
+}
+
+func TestFormatShardsRoundTrip(t *testing.T) {
+	spec := "n1=http://127.0.0.1:7501,n2*3=http://127.0.0.1:7502,far*7=https://example.com:8443"
+	shards, err := ParseShards(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseShards(FormatShards(shards))
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", FormatShards(shards), err)
+	}
+	if !reflect.DeepEqual(shards, again) {
+		t.Fatalf("round trip changed shards: %+v vs %+v", shards, again)
+	}
+}
+
+// rendezvousWinner is the test-side argmax over (score, then ID) — the same
+// ordering Router.rank uses.
+func rendezvousWinner(ids []string, key string, weight func(id string) float64) string {
+	best, bestScore := "", math.Inf(-1)
+	for _, id := range ids {
+		s := rendezvousScore(id, key, weight(id))
+		if s > bestScore || (s == bestScore && (best == "" || id < best)) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+func TestRendezvousDeterministicAndStable(t *testing.T) {
+	ids := []string{"n1", "n2", "n3", "n4", "n5"}
+	unit := func(string) float64 { return 1 }
+	keys := make([]string, 0, 500)
+	for i := 0; i < 500; i++ {
+		keys = append(keys, "muddy:"+strings.Repeat("x", i%7)+string(rune('a'+i%26)))
+	}
+	for _, key := range keys {
+		w := rendezvousWinner(ids, key, unit)
+		if w2 := rendezvousWinner(ids, key, unit); w2 != w {
+			t.Fatalf("key %q: nondeterministic winner %s vs %s", key, w, w2)
+		}
+		// The defining rendezvous property: removing a shard other than the
+		// winner never moves the key.
+		for _, gone := range ids {
+			if gone == w {
+				continue
+			}
+			rest := make([]string, 0, len(ids)-1)
+			for _, id := range ids {
+				if id != gone {
+					rest = append(rest, id)
+				}
+			}
+			if got := rendezvousWinner(rest, key, unit); got != w {
+				t.Fatalf("key %q: removing loser %s moved it %s -> %s", key, gone, w, got)
+			}
+		}
+	}
+}
+
+func TestRendezvousWeighting(t *testing.T) {
+	ids := []string{"n1", "n2"}
+	weight := func(id string) float64 {
+		if id == "n2" {
+			return 3
+		}
+		return 1
+	}
+	wins := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		key := "sys:" + strings.Repeat("k", i%11) + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		wins[rendezvousWinner(ids, key, weight)]++
+	}
+	ratio := float64(wins["n2"]) / float64(wins["n1"])
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Fatalf("weight-3 shard won %d vs %d (ratio %.2f), want ~3x", wins["n2"], wins["n1"], ratio)
+	}
+	if rendezvousScore("n1", "key", 0) != math.Inf(-1) || rendezvousScore("n1", "key", -2) != math.Inf(-1) {
+		t.Fatal("non-positive weight must score -Inf")
+	}
+}

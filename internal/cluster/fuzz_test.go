@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzRouterConfig fuzzes the shard-list parser. Whatever the input, the
+// parser must never panic; whatever it accepts must satisfy every invariant
+// the router relies on (non-empty fleet, unique clean IDs, weights in
+// range, bare absolute http(s) addresses) and survive a Format/Parse round
+// trip unchanged — the canonical form is a fixed point.
+func FuzzRouterConfig(f *testing.F) {
+	for _, seed := range []string{
+		"n1=http://127.0.0.1:7501",
+		"n1=http://127.0.0.1:7501,n2*2=http://127.0.0.1:7502,n3=https://10.0.0.3:7503",
+		" n1 = http://a:1 , n2*3 = https://b:2 ",
+		"n1*0=http://a:1",
+		"n1*1048577=http://a:1",
+		"n1=http://a:1,n1=http://b:2",
+		"n1=127.0.0.1:7501",
+		"n1=http://user:pw@a:1",
+		"n1=http://a:1/path",
+		"n1=http://a:1?q=1#frag",
+		"n1=http://a:1,",
+		"=http://a:1",
+		"n*1",
+		"n1=http://a:1/",
+		"n 1=http://a:1",
+		"идентификатор=http://a:1",
+		"n1=http://[::1]:7501",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		shards, err := ParseShards(spec)
+		if err != nil {
+			if shards != nil {
+				t.Fatalf("error %v with non-nil shards %+v", err, shards)
+			}
+			return
+		}
+		if len(shards) == 0 {
+			t.Fatalf("accepted %q as an empty fleet", spec)
+		}
+		seen := make(map[string]bool)
+		for _, sh := range shards {
+			if sh.ID == "" {
+				t.Fatalf("accepted empty id in %q", spec)
+			}
+			if strings.ContainsRune(sh.ID, '*') || strings.IndexFunc(sh.ID, unicode.IsSpace) >= 0 ||
+				strings.ContainsAny(sh.ID, ",=") {
+				t.Fatalf("accepted unclean id %q in %q", sh.ID, spec)
+			}
+			if seen[sh.ID] {
+				t.Fatalf("accepted duplicate id %q in %q", sh.ID, spec)
+			}
+			seen[sh.ID] = true
+			if sh.Weight < 1 || sh.Weight > maxWeight {
+				t.Fatalf("accepted weight %d in %q", sh.Weight, spec)
+			}
+			u, uerr := url.Parse(sh.Addr)
+			if uerr != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" ||
+				u.User != nil || u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+				t.Fatalf("accepted non-bare address %q in %q", sh.Addr, spec)
+			}
+		}
+		again, err := ParseShards(FormatShards(shards))
+		if err != nil {
+			t.Fatalf("canonical form of %q rejected: %v", spec, err)
+		}
+		if !reflect.DeepEqual(shards, again) {
+			t.Fatalf("round trip moved %q: %+v -> %+v", spec, shards, again)
+		}
+	})
+}

@@ -203,7 +203,7 @@ func TestCrashRestartConvergence(t *testing.T) {
 			}
 
 			// The restart genuinely restored persisted chains.
-			st, err := c.Stats()
+			st, err := c.ServerStats()
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -18,16 +18,27 @@ import (
 	"time"
 )
 
-// BuildKnowd compiles cmd/knowd into dir and returns the binary path. The
-// go build cache makes repeated calls cheap.
-func BuildKnowd(dir string) (string, error) {
-	bin := filepath.Join(dir, "knowd")
-	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/knowd")
+// BuildBinary compiles a command package into dir under the given name and
+// returns the binary path. The go build cache makes repeated calls cheap.
+func BuildBinary(dir, name, pkg string) (string, error) {
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
 	cmd.Env = os.Environ()
 	if out, err := cmd.CombinedOutput(); err != nil {
-		return "", fmt.Errorf("harness: building knowd: %v\n%s", err, out)
+		return "", fmt.Errorf("harness: building %s: %v\n%s", name, err, out)
 	}
 	return bin, nil
+}
+
+// BuildKnowd compiles cmd/knowd into dir and returns the binary path.
+func BuildKnowd(dir string) (string, error) {
+	return BuildBinary(dir, "knowd", "repro/cmd/knowd")
+}
+
+// BuildKnowrouter compiles cmd/knowrouter into dir and returns the binary
+// path.
+func BuildKnowrouter(dir string) (string, error) {
+	return BuildBinary(dir, "knowrouter", "repro/cmd/knowrouter")
 }
 
 // FreeAddr reserves an ephemeral localhost address and releases it for the

@@ -1,9 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 )
 
 // dedupeWindow is the server-side single-flight idempotency table: the
@@ -94,4 +98,119 @@ func (d *dedupeWindow) size() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.entries)
+}
+
+// Deduper packages the idempotency machinery as reusable middleware:
+// Wrap gives any mutating handler single-flight Idempotency-Key semantics
+// backed by one shared window. knowd fronts its compute endpoints with one,
+// and knowrouter fronts its own routes with another, so a duplicate request
+// is absorbed at whichever layer sees it first — the router's window
+// collapses client retries before they fan upstream, and the shard's window
+// collapses the router's own retried forwards.
+type Deduper struct {
+	win     *dedupeWindow
+	hits    atomic.Int64
+	logf    func(format string, args ...any)
+	onPanic func()
+}
+
+// NewDeduper builds a Deduper remembering up to window keys (<=0 means
+// 256). logf receives panic log lines and onPanic fires once per recovered
+// handler panic; either may be nil.
+func NewDeduper(window int, logf func(format string, args ...any), onPanic func()) *Deduper {
+	if window <= 0 {
+		window = 256
+	}
+	return &Deduper{win: newDedupeWindow(window), logf: logf, onPanic: onPanic}
+}
+
+// Hits reports how many duplicate requests replayed a stored response.
+func (d *Deduper) Hits() int64 { return d.hits.Load() }
+
+// Wrap gives h Idempotency-Key semantics: the first request with a key
+// executes against a response recorder, stores the bytes, and every
+// duplicate — concurrent or later — replays them. Transient outcomes
+// (shed, draining, panic, client disconnect) are not stored, so a retry of
+// the same key re-executes once conditions clear.
+func (d *Deduper) Wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			h(w, r)
+			return
+		}
+		e, first := d.win.begin(key)
+		if !first {
+			select {
+			case <-e.done:
+			case <-r.Context().Done():
+				return // duplicate's client gone before the original finished
+			}
+			d.hits.Add(1)
+			writeStored(w, e)
+			return
+		}
+		rec := &recorder{header: make(http.Header)}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					if d.onPanic != nil {
+						d.onPanic()
+					}
+					if d.logf != nil {
+						d.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+					}
+					rec.status = http.StatusInternalServerError
+					rec.buf.Reset()
+					rec.header.Set("Content-Type", "application/json")
+					body, _ := json.Marshal(errorBody{Error: fmt.Sprintf("internal error: %v", p)})
+					rec.buf.Write(body)
+				}
+			}()
+			h(rec, r)
+		}()
+		status := rec.status
+		if status == 0 {
+			// The handler wrote nothing (client disconnected mid-compute).
+			status = 499
+		}
+		transient := status == http.StatusTooManyRequests ||
+			status == http.StatusServiceUnavailable ||
+			status >= 500 || status == 499
+		d.win.finish(key, e, status, rec.header, rec.buf.Bytes(), transient)
+		writeStored(w, e)
+	}
+}
+
+// recorder captures a handler's response for the dedupe window.
+type recorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *recorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.buf.Write(b)
+}
+
+func writeStored(w http.ResponseWriter, e *dedupeEntry) {
+	if e.status == 499 {
+		return // nothing was produced; the duplicate gets nothing to replay
+	}
+	for k, vs := range e.header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(e.status)
+	w.Write(e.body)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"os"
@@ -70,6 +71,37 @@ func TestTTLEvictionVirtualClock(t *testing.T) {
 	}
 	if got := s.StatsSnapshot().Evicted; got != 1 {
 		t.Fatalf("evicted counter %d, want 1", got)
+	}
+}
+
+// TestHealthzDrainLifecycle pins the health surface a cluster router keys
+// off: a live daemon answers healthz 200/ok, and the moment SIGTERM drain
+// begins (Shutdown, here driven directly) healthz flips to 503/draining —
+// before the listener closes — so routers stop sending traffic to a shard
+// that is about to go away instead of discovering it via refused
+// connections.
+func TestHealthzDrainLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	code, body := do(t, ts, "GET", "/healthz", nil, "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d: %s", code, body)
+	}
+	if m := decode[map[string]string](t, body); m["status"] != "ok" {
+		t.Fatalf("healthz body before drain: %v", m)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	code, body = do(t, ts, "GET", "/healthz", nil, "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d: %s", code, body)
+	}
+	if m := decode[map[string]string](t, body); m["status"] != "draining" {
+		t.Fatalf("healthz body during drain: %v", m)
 	}
 }
 

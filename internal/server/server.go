@@ -22,7 +22,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -34,6 +33,7 @@ import (
 	"runtime"
 	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +65,14 @@ type Config struct {
 	// window of loss is exactly the in-flight request, which the announce
 	// link precondition makes safe to retry.
 	WriteThrough bool
+	// BootID, when non-empty, names this process incarnation. It is
+	// advertised on /healthz as the Knowd-Boot-Id header and woven into
+	// session ids ("s<boot>-<n>"), so an id minted by an earlier
+	// incarnation that died on the same address can never alias a fresh
+	// one. Routers key both crash detection and the safety of their
+	// session mappings off it; in-process tests leave it empty and keep
+	// the bare "s<n>" ids.
+	BootID string
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -181,7 +189,7 @@ type Server struct {
 	sessions map[string]*session
 	nextID   int64
 
-	dedupe   *dedupeWindow
+	dedupe   *Deduper
 	sem      chan struct{}
 	draining atomic.Bool
 
@@ -194,7 +202,7 @@ type Server struct {
 
 	opened, closed, evicted, restored atomic.Int64
 	evals, announces, replays         atomic.Int64
-	dedupeHits, shed, panics          atomic.Int64
+	shed, panics                      atomic.Int64
 }
 
 // New builds a daemon from cfg.
@@ -208,15 +216,16 @@ func New(cfg Config) *Server {
 			return t.C, t.Stop
 		},
 		sessions:    make(map[string]*session),
-		dedupe:      newDedupeWindow(cfg.DedupeWindow),
 		sem:         make(chan struct{}, cfg.Queue),
 		janitorStop: make(chan struct{}),
 	}
+	s.dedupe = NewDeduper(cfg.DedupeWindow, s.logf, func() { s.panics.Add(1) })
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.withRecover(s.handleHealthz))
 	mux.HandleFunc("GET /v1/systems", s.withRecover(s.handleSystems))
 	mux.HandleFunc("GET /v1/stats", s.withRecover(s.handleStats))
 	mux.HandleFunc("GET /v1/sessions", s.withRecover(s.handleList))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.withRecover(s.handleGet))
 	mux.HandleFunc("POST /v1/sessions", s.compute(s.handleOpen))
 	mux.HandleFunc("POST /v1/sessions/{id}/eval", s.compute(s.handleEval))
 	mux.HandleFunc("POST /v1/sessions/{id}/announce", s.compute(s.handleAnnounce))
@@ -347,88 +356,10 @@ func (s *Server) withAdmit(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// withDedupe gives Idempotency-Key semantics to the wrapped handler: the
-// first request with a key executes against a response recorder, stores
-// the bytes, and every duplicate — concurrent or later — replays them.
-// Transient outcomes (shed, draining, panic, client disconnect) are not
-// stored, so a retry of the same key re-executes once conditions clear.
+// withDedupe gives Idempotency-Key semantics to the wrapped handler via
+// the server's Deduper (see dedupe.go for the full contract).
 func (s *Server) withDedupe(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		key := r.Header.Get("Idempotency-Key")
-		if key == "" {
-			h(w, r)
-			return
-		}
-		e, first := s.dedupe.begin(key)
-		if !first {
-			select {
-			case <-e.done:
-			case <-r.Context().Done():
-				return // duplicate's client gone before the original finished
-			}
-			s.dedupeHits.Add(1)
-			writeStored(w, e)
-			return
-		}
-		rec := &recorder{header: make(http.Header)}
-		func() {
-			defer func() {
-				if p := recover(); p != nil {
-					s.panics.Add(1)
-					s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
-					rec.status = http.StatusInternalServerError
-					rec.buf.Reset()
-					rec.header.Set("Content-Type", "application/json")
-					body, _ := json.Marshal(errorBody{Error: fmt.Sprintf("internal error: %v", p)})
-					rec.buf.Write(body)
-				}
-			}()
-			h(rec, r)
-		}()
-		status := rec.status
-		if status == 0 {
-			// The handler wrote nothing (client disconnected mid-compute).
-			status = 499
-		}
-		transient := status == http.StatusTooManyRequests ||
-			status == http.StatusServiceUnavailable ||
-			status >= 500 || status == 499
-		s.dedupe.finish(key, e, status, rec.header, rec.buf.Bytes(), transient)
-		writeStored(w, e)
-	}
-}
-
-// recorder captures a handler's response for the dedupe window.
-type recorder struct {
-	header http.Header
-	status int
-	buf    bytes.Buffer
-}
-
-func (r *recorder) Header() http.Header { return r.header }
-
-func (r *recorder) WriteHeader(code int) {
-	if r.status == 0 {
-		r.status = code
-	}
-}
-
-func (r *recorder) Write(b []byte) (int, error) {
-	if r.status == 0 {
-		r.status = http.StatusOK
-	}
-	return r.buf.Write(b)
-}
-
-func writeStored(w http.ResponseWriter, e *dedupeEntry) {
-	if e.status == 499 {
-		return // nothing was produced; the duplicate gets nothing to replay
-	}
-	for k, vs := range e.header {
-		w.Header()[k] = vs
-	}
-	w.WriteHeader(e.status)
-	w.Write(e.body)
+	return s.dedupe.Wrap(h)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -445,11 +376,17 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 // Handlers.
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	if s.draining.Load() {
-		status = "draining"
+	if s.cfg.BootID != "" {
+		w.Header().Set("Knowd-Boot-Id", s.cfg.BootID)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	if s.draining.Load() {
+		// 503, not 200-with-a-sad-body: a health checker keys off the status
+		// code, and a draining daemon must stop receiving routed traffic
+		// before its listener actually closes.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
@@ -474,7 +411,7 @@ func (s *Server) StatsSnapshot() Stats {
 		Evals:      s.evals.Load(),
 		Announces:  s.announces.Load(),
 		Replays:    s.replays.Load(),
-		DedupeHits: s.dedupeHits.Load(),
+		DedupeHits: s.dedupe.Hits(),
 		Shed:       s.shed.Load(),
 		Panics:     s.panics.Load(),
 	}
@@ -497,7 +434,11 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	ss := &session{seed: seed, ld: ld, lastUsed: s.now()}
 	s.mu.Lock()
 	s.nextID++
-	ss.id = "s" + strconv.FormatInt(s.nextID, 10)
+	if s.cfg.BootID != "" {
+		ss.id = "s" + s.cfg.BootID + "-" + strconv.FormatInt(s.nextID, 10)
+	} else {
+		ss.id = "s" + strconv.FormatInt(s.nextID, 10)
+	}
 	s.sessions[ss.id] = ss
 	s.mu.Unlock()
 	s.opened.Add(1)
@@ -557,6 +498,22 @@ func (s *Server) session(id string) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sessions[id]
+}
+
+// handleGet returns one session's current chain state — the read-only
+// counterpart of the session list, cheap enough for a router to hedge to a
+// replica. It deliberately does not touch the session: a health probe or a
+// hedged read must not keep an otherwise idle session alive.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	ss.mu.Lock()
+	st := s.stateOf(ss)
+	ss.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
@@ -861,8 +818,34 @@ func validSessionID(id string) bool {
 	if len(id) < 2 || id[0] != 's' {
 		return false
 	}
-	for i := 1; i < len(id); i++ {
-		if id[i] < '0' || id[i] > '9' {
+	body := id[1:]
+	// Exactly two shapes: bare "s<n>", or the boot-fenced "s<boot>-<n>"
+	// form where <boot> is a base-36 incarnation stamp.
+	if i := strings.IndexByte(body, '-'); i >= 0 {
+		return isBase36(body[:i]) && isDigits(body[i+1:])
+	}
+	return isDigits(body)
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isBase36(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'z') {
 			return false
 		}
 	}

@@ -476,11 +476,33 @@ func TestDrainingRefusesCompute(t *testing.T) {
 		t.Fatalf("draining open: status %d: %s", code, body)
 	}
 	code, body = do(t, ts, "GET", "/healthz", nil, "")
-	if code != http.StatusOK {
+	if code != http.StatusServiceUnavailable {
 		t.Fatalf("healthz while draining: %d", code)
 	}
 	if m := decode[map[string]string](t, body); m["status"] != "draining" {
 		t.Fatalf("healthz body: %v", m)
+	}
+}
+
+func TestSessionGet(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := do(t, ts, "POST", "/v1/sessions", OpenRequest{System: "muddy:2"}, "")
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d: %s", code, body)
+	}
+	opened := decode[SessionState](t, body)
+
+	code, body = do(t, ts, "GET", "/v1/sessions/"+opened.Session, nil, "")
+	if code != http.StatusOK {
+		t.Fatalf("get: %d: %s", code, body)
+	}
+	if got := decode[SessionState](t, body); got != opened {
+		t.Fatalf("get state %+v, want %+v", got, opened)
+	}
+
+	code, _ = do(t, ts, "GET", "/v1/sessions/nope", nil, "")
+	if code != http.StatusNotFound {
+		t.Fatalf("get missing session: %d", code)
 	}
 }
 

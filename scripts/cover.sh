@@ -12,13 +12,14 @@
 #   internal/client   >= 80   (retry/breaker/idempotency-key internals)
 #   internal/chaosproxy >= 80 (fault-injecting proxy: message + byte fates)
 #   internal/gossip   >= 70   (gossip universes, chains and attainment search)
+#   internal/cluster  >= 70   (rendezvous routing, health ejection, failover)
 #
 # Usage: scripts/cover.sh [profile.out]
 #
 # The profile is left at the given path (default coverage.out) so CI can
 # upload it as an artifact. COVER_THRESHOLD overrides the kripke gate;
 # COVER_THRESHOLD_<PKG> (RUNS, PROTOCOL, FAULTS, SCENARIO, SERVER,
-# CLIENT, CHAOSPROXY, GOSSIP) override the others.
+# CLIENT, CHAOSPROXY, GOSSIP, CLUSTER) override the others.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -64,6 +65,7 @@ check internal/server "${COVER_THRESHOLD_SERVER:-70}"
 check internal/client "${COVER_THRESHOLD_CLIENT:-80}"
 check internal/chaosproxy "${COVER_THRESHOLD_CHAOSPROXY:-80}"
 check internal/gossip "${COVER_THRESHOLD_GOSSIP:-70}"
+check internal/cluster "${COVER_THRESHOLD_CLUSTER:-70}"
 echo "repo total: ${overall}"
 
 exit "$fail"
